@@ -1,0 +1,76 @@
+(* The full benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation at
+   full (simulator-scale) configuration, prints the tables, and writes
+   results/<id>.csv.
+
+   Part 2 is the Bechamel suite: one [Test.make] per table/figure, each
+   timing the host-side cost of regenerating that artifact (at the quick
+   configuration, with the memoisation cache cleared per run so every
+   sample does real work). *)
+
+module Experiments = Asf_harness.Experiments
+module Report = Asf_harness.Report
+open Bechamel
+open Toolkit
+
+let part1 () =
+  print_endline "=============================================================";
+  print_endline " Part 1: full-scale reproduction of every table and figure";
+  print_endline "=============================================================";
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun e ->
+      let t = Unix.gettimeofday () in
+      let reports = e.Experiments.run ~quick:false ~seed:1 in
+      List.iter
+        (fun r ->
+          Report.print r;
+          ignore (Report.save_csv ~dir:"results" r))
+        reports;
+      Printf.printf "[%s regenerated in %.1fs host time; csv in results/]\n%!"
+        e.Experiments.id
+        (Unix.gettimeofday () -. t))
+    Experiments.all;
+  Printf.printf "\nAll artifacts regenerated in %.1fs host time.\n%!"
+    (Unix.gettimeofday () -. t0)
+
+let bechamel_tests =
+  let test_of e =
+    Test.make ~name:e.Experiments.id
+      (Staged.stage (fun () ->
+           Experiments.clear_cache ();
+           ignore (e.Experiments.run ~quick:true ~seed:1)))
+  in
+  Test.make_grouped ~name:"regen" (List.map test_of Experiments.all)
+
+let part2 () =
+  print_endline "";
+  print_endline "=============================================================";
+  print_endline " Part 2: Bechamel — host cost per artifact (quick configs)";
+  print_endline "=============================================================";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:3 ~quota:(Time.second 1.0) ~stabilize:false ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances bechamel_tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%-24s %14s %10s\n" "benchmark" "ms/run" "r^2";
+  List.iter
+    (fun (name, v) ->
+      let est =
+        match Analyze.OLS.estimates v with Some (e :: _) -> e /. 1e6 | _ -> nan
+      in
+      let r2 = match Analyze.OLS.r_square v with Some r -> r | None -> nan in
+      Printf.printf "%-24s %14.2f %10s\n" name est (if Float.is_nan r2 then "-" else Printf.sprintf "%.3f" r2))
+    rows
+
+let () =
+  part1 ();
+  part2 ();
+  print_endline "\nbench: done"

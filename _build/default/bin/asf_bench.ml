@@ -1,0 +1,234 @@
+(* Command-line driver.
+
+     asf_bench repro --list
+     asf_bench repro -e fig5 --quick
+     asf_bench repro --all --csv results
+     asf_bench intset --structure rb-tree --range 8192 --threads 8 --mode llb256
+     asf_bench stamp --app genome --mode stm --threads 4
+
+   (invoking without a subcommand behaves like `repro`). *)
+
+module Experiments = Asf_harness.Experiments
+module Report = Asf_harness.Report
+module Stats = Asf_tm_rt.Stats
+module Tm = Asf_tm_rt.Tm
+module Variant = Asf_core.Variant
+module Abort = Asf_core.Abort
+module Intset = Asf_intset.Intset
+module Stamp = Asf_stamp.Stamp
+module C = Asf_stamp.Stamp_common
+
+(* ------------------------------------------------------------------ *)
+(* Shared mode parsing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let modes =
+  [
+    ("llb8", Tm.Asf_mode Variant.llb8);
+    ("llb256", Tm.Asf_mode Variant.llb256);
+    ("llb8-l1", Tm.Asf_mode Variant.llb8_l1);
+    ("llb256-l1", Tm.Asf_mode Variant.llb256_l1);
+    ("cache", Tm.Asf_mode Variant.cache_based);
+    ("phased", Tm.Phased_mode Variant.llb8);
+    ("stm", Tm.Stm_mode);
+    ("seq", Tm.Seq_mode);
+  ]
+
+let mode_names = String.concat ", " (List.map fst modes)
+
+let print_stats stats =
+  Printf.printf "commits: %d (serial %d), attempts: %d\n" (Stats.commits stats)
+    (Stats.serial_commits stats) (Stats.attempts stats);
+  let aborts = Stats.aborts stats in
+  Array.iteri
+    (fun i n -> if n > 0 then Printf.printf "aborts[%s]: %d\n" (Abort.class_name i) n)
+    aborts
+
+(* ------------------------------------------------------------------ *)
+(* repro                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_experiments () =
+  Printf.printf "available experiments:\n";
+  List.iter
+    (fun e -> Printf.printf "  %-12s %s\n" e.Experiments.id e.Experiments.description)
+    Experiments.all;
+  0
+
+let run_one ~quick ~seed ~csv id =
+  match Experiments.find id with
+  | None ->
+      Printf.eprintf "unknown experiment %S; try --list\n" id;
+      1
+  | Some e ->
+      let t0 = Unix.gettimeofday () in
+      let reports = e.Experiments.run ~quick ~seed in
+      List.iter
+        (fun r ->
+          Report.print r;
+          match csv with
+          | Some dir ->
+              let path = Report.save_csv ~dir r in
+              Printf.printf "csv: %s\n" path
+          | None -> ())
+        reports;
+      Printf.printf "[%s done in %.1fs host time]\n%!" id (Unix.gettimeofday () -. t0);
+      0
+
+let repro ids all quick seed csv do_list =
+  if do_list then list_experiments ()
+  else
+    let ids = if all then Experiments.ids () else ids in
+    if ids = [] then begin
+      Printf.eprintf "nothing to run; use -e <id>, --all, or --list\n";
+      1
+    end
+    else List.fold_left (fun rc id -> max rc (run_one ~quick ~seed ~csv id)) 0 ids
+
+(* ------------------------------------------------------------------ *)
+(* intset                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_intset mode structure range updates threads txns early_release seed =
+  let structure =
+    match structure with
+    | "linked-list" -> Some Intset.Linked_list
+    | "skip-list" -> Some Intset.Skip_list
+    | "rb-tree" -> Some Intset.Rb_tree
+    | "hash-set" -> Some Intset.Hash_set
+    | _ -> None
+  in
+  match (structure, List.assoc_opt mode modes) with
+  | None, _ ->
+      Printf.eprintf "unknown structure (linked-list, skip-list, rb-tree, hash-set)\n";
+      1
+  | _, None ->
+      Printf.eprintf "unknown mode (%s)\n" mode_names;
+      1
+  | Some structure, Some mode ->
+      let cfg =
+        {
+          (Intset.default_cfg structure) with
+          Intset.range;
+          update_pct = updates;
+          txns_per_thread = txns;
+          early_release;
+        }
+      in
+      let tm = { (Tm.default_config mode ~n_cores:threads) with Tm.seed } in
+      let r = Intset.run tm ~threads cfg in
+      Printf.printf "%s range=%d upd=%d%% threads=%d: %.2f tx/us (%d cycles)\n"
+        (Intset.structure_name structure)
+        range updates threads r.Intset.throughput_tx_per_us r.Intset.cycles;
+      print_stats r.Intset.stats;
+      if not r.Intset.size_ok then Printf.printf "WARNING: size check failed\n";
+      if r.Intset.size_ok then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* stamp                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_stamp app mode threads scale seed =
+  match (Stamp.of_name app, List.assoc_opt mode modes) with
+  | None, _ ->
+      Printf.eprintf "unknown app (%s)\n"
+        (String.concat ", " (List.map Stamp.name Stamp.all));
+      1
+  | _, None ->
+      Printf.eprintf "unknown mode (%s)\n" mode_names;
+      1
+  | Some app, Some mode ->
+      let tm = { (Tm.default_config mode ~n_cores:threads) with Tm.seed } in
+      let r = Stamp.run_scaled app ~scale tm ~threads in
+      Printf.printf "%s threads=%d: %.3f ms simulated\n" (Stamp.name app) threads
+        (C.ms tm.Tm.params r);
+      print_stats r.C.stats;
+      List.iter
+        (fun (check, passed) -> Printf.printf "check %-40s %s\n" check
+            (if passed then "ok" else "FAILED"))
+        r.C.checks;
+      if C.ok r then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Deterministic seed.")
+
+let threads_arg =
+  Arg.(value & opt int 8 & info [ "threads"; "t" ] ~docv:"N" ~doc:"Worker threads (= cores).")
+
+let mode_arg =
+  Arg.(value & opt string "llb256"
+       & info [ "mode"; "m" ] ~docv:"MODE" ~doc:("Execution mode: " ^ mode_names ^ "."))
+
+let repro_cmd =
+  let ids =
+    Arg.(value & opt_all string []
+         & info [ "e"; "experiment" ] ~docv:"ID" ~doc:"Experiment to run (repeatable).")
+  in
+  let all = Arg.(value & flag & info [ "all" ] ~doc:"Run every experiment.") in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Scaled-down configurations.") in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as DIR/<id>.csv.")
+  in
+  let list = Arg.(value & flag & info [ "list" ] ~doc:"List experiments and exit.") in
+  Cmd.v
+    (Cmd.info "repro" ~doc:"Reproduce the paper's tables and figures")
+    Term.(const repro $ ids $ all $ quick $ seed_arg $ csv $ list)
+
+let intset_cmd =
+  let structure =
+    Arg.(value & opt string "rb-tree"
+         & info [ "structure"; "s" ] ~docv:"S"
+             ~doc:"linked-list, skip-list, rb-tree, or hash-set.")
+  in
+  let range = Arg.(value & opt int 1024 & info [ "range"; "r" ] ~docv:"N" ~doc:"Key range.") in
+  let updates =
+    Arg.(value & opt int 20 & info [ "updates"; "u" ] ~docv:"PCT" ~doc:"Update percentage.")
+  in
+  let txns =
+    Arg.(value & opt int 1000 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per thread.")
+  in
+  let er = Arg.(value & flag & info [ "early-release" ] ~doc:"ASF early release.") in
+  Cmd.v
+    (Cmd.info "intset" ~doc:"Run one IntegerSet configuration")
+    Term.(
+      const run_intset $ mode_arg $ structure $ range $ updates $ threads_arg $ txns $ er
+      $ seed_arg)
+
+let stamp_cmd =
+  let app_arg =
+    Arg.(value & opt string "genome"
+         & info [ "app"; "a" ] ~docv:"APP" ~doc:"STAMP application name.")
+  in
+  let scale =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"X" ~doc:"Input size multiplier.")
+  in
+  Cmd.v
+    (Cmd.info "stamp" ~doc:"Run one STAMP application")
+    Term.(const run_stamp $ app_arg $ mode_arg $ threads_arg $ scale $ seed_arg)
+
+let main_cmd =
+  let doc =
+    "Reproduce 'Evaluation of AMD's Advanced Synchronization Facility Within a \
+     Complete Transactional Memory Stack' (EuroSys 2010)"
+  in
+  Cmd.group
+    ~default:
+      Term.(
+        const (fun ids all quick seed csv list -> repro ids all quick seed csv list)
+        $ Arg.(value & opt_all string [] & info [ "e"; "experiment" ] ~docv:"ID")
+        $ Arg.(value & flag & info [ "all" ])
+        $ Arg.(value & flag & info [ "quick" ])
+        $ seed_arg
+        $ Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR")
+        $ Arg.(value & flag & info [ "list" ]))
+    (Cmd.info "asf_bench" ~doc)
+    [ repro_cmd; intset_cmd; stamp_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/bank.ml: Array Asf_core Asf_engine Asf_machine Asf_mem Asf_tm_rt List Printf

@@ -1,0 +1,1 @@
+examples/dcas.ml: Array Asf_cache Asf_core Asf_engine Asf_machine Printf

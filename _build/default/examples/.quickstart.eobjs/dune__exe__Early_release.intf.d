@@ -1,0 +1,1 @@
+examples/early_release.mli:

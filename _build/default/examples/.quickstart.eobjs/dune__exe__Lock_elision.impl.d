@@ -1,0 +1,1 @@
+examples/lock_elision.ml: Asf_core Asf_dstruct Asf_engine Asf_machine Asf_tm_rt List Printf

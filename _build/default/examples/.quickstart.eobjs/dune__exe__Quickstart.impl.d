@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asf_core Asf_machine Asf_tm_rt List Printf

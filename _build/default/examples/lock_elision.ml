@@ -1,0 +1,77 @@
+(* Lock elision: the paper's story for existing lock-based software.
+   A hash table guarded by ONE global spin lock normally serialises all
+   threads; eliding the lock with ASF lets non-conflicting critical
+   sections commit in parallel, while a legacy thread that really takes
+   the lock still aborts every elided section in flight (requester-wins
+   on the subscribed lock word).
+
+   We compare simulated time for 4 threads hammering the table:
+     (a) conventional locking,
+     (b) elided locking,
+   and run a mixed mode to show correctness when both coexist. *)
+
+module Tm = Asf_tm_rt.Tm
+module Elision = Asf_tm_rt.Elision
+module Stats = Asf_tm_rt.Stats
+module Variant = Asf_core.Variant
+module Params = Asf_machine.Params
+module Prng = Asf_engine.Prng
+module Ops = Asf_dstruct.Ops
+module Thashmap = Asf_dstruct.Thashmap
+
+let n_threads = 4
+
+let ops_per_thread = 400
+
+type style = Locked | Elided | Mixed
+
+let run style =
+  let cfg = Tm.default_config (Tm.Asf_mode Variant.llb256) ~n_cores:n_threads in
+  let sys = Tm.create cfg in
+  let so = Ops.setup sys in
+  let table = Thashmap.create so ~buckets:256 in
+  let lock = Elision.make sys in
+  let ctxs =
+    List.init n_threads (fun core ->
+        Tm.spawn sys ~core (fun ctx ->
+            let o = Ops.tx ctx in
+            (* A dedicated key stream: the context's own PRNG also feeds
+               back-off jitter, which would make the key sequences differ
+               across locking styles. *)
+            let rng = Prng.create (1000 + core) in
+            let conventional =
+              match style with Locked -> true | Elided -> false | Mixed -> core = 0
+            in
+            for _ = 1 to ops_per_thread do
+              let k = Prng.int rng 512 in
+              if conventional then begin
+                (* Legacy code path: really take the lock. *)
+                Elision.acquire ctx lock;
+                Thashmap.put o table k (k * 3);
+                Elision.release ctx lock
+              end
+              else
+                Elision.with_lock ctx lock (fun () ->
+                    Thashmap.put o table k (k * 3))
+            done))
+  in
+  Tm.run sys;
+  let agg = Stats.create () in
+  List.iter (fun c -> Stats.add (Tm.stats c) ~into:agg) ctxs;
+  (Params.cycles_to_us cfg.Tm.params (Tm.makespan sys), agg, Thashmap.size so table)
+
+let () =
+  Printf.printf "Lock elision: %d threads x %d guarded hash-table updates\n\n"
+    n_threads ops_per_thread;
+  let t_locked, _, n1 = run Locked in
+  let t_elided, stats, n2 = run Elided in
+  let t_mixed, _, n3 = run Mixed in
+  Printf.printf "  conventional lock : %8.1f us (table size %d)\n" t_locked n1;
+  Printf.printf "  elided lock       : %8.1f us (table size %d, aborts %d, serial %d)\n"
+    t_elided n2 (Stats.total_aborts stats) (Stats.serial_commits stats);
+  Printf.printf "  mixed (1 legacy)  : %8.1f us (table size %d)\n" t_mixed n3;
+  Printf.printf "\n  elision speedup over the global lock: %.2fx\n"
+    (t_locked /. t_elided);
+  assert (n1 = n2 && n2 = n3);
+  assert (t_elided < t_locked);
+  print_endline "OK"

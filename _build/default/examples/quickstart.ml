@@ -1,0 +1,59 @@
+(* Quickstart: the paper's Fig. 2 — a shared counter incremented inside an
+   atomic block — executed on the full stack: the `Tm.atomic` block below
+   is what DTMC would generate for
+
+       __tm_atomic { cntr = cntr + 5; }
+
+   We run it on 4 simulated cores under ASF (LLB-256) with a serial
+   fallback, then under the TinySTM baseline, and compare simulated time
+   and abort behaviour. *)
+
+module Tm = Asf_tm_rt.Tm
+module Stats = Asf_tm_rt.Stats
+module Variant = Asf_core.Variant
+module Params = Asf_machine.Params
+
+let increments_per_thread = 500
+
+let n_threads = 4
+
+let run_mode name mode =
+  let cfg = Tm.default_config mode ~n_cores:n_threads in
+  let sys = Tm.create cfg in
+  (* Shared counter in simulated memory, initialised during (untimed)
+     setup. *)
+  let cntr = Tm.setup_alloc sys 1 in
+  Tm.setup_poke sys cntr 0;
+  let ctxs =
+    List.init n_threads (fun core ->
+        Tm.spawn sys ~core (fun ctx ->
+            for _ = 1 to increments_per_thread do
+              Tm.atomic ctx (fun () ->
+                  let v = Tm.load ctx cntr in
+                  Tm.store ctx cntr (v + 5))
+            done))
+  in
+  Tm.run sys;
+  let agg = Stats.create () in
+  List.iter (fun c -> Stats.add (Tm.stats c) ~into:agg) ctxs;
+  let expected = 5 * n_threads * increments_per_thread in
+  let got = Tm.setup_peek sys cntr in
+  Printf.printf
+    "%-10s counter=%d (expected %d) time=%.1f us, commits=%d, aborts=%d, serial=%d\n"
+    name got expected
+    (Params.cycles_to_us cfg.Tm.params (Tm.makespan sys))
+    (Stats.commits agg) (Stats.total_aborts agg) (Stats.serial_commits agg);
+  assert (got = expected)
+
+let () =
+  Printf.printf
+    "Fig. 2 quickstart: %d threads x %d atomic increments of a shared counter\n\n"
+    n_threads increments_per_thread;
+  run_mode "ASF" (Tm.Asf_mode Variant.llb256);
+  run_mode "TinySTM" Tm.Stm_mode;
+  print_newline ();
+  print_endline
+    "The ASF path runs each block as a hardware speculative region; conflicting\n\
+     increments abort (requester-wins) and retry with exponential back-off.\n\
+     The same unmodified block runs under the software TM by switching modes.";
+  print_endline "OK"

@@ -1,0 +1,1 @@
+lib/cache/memsys.ml: Asf_engine Asf_machine Asf_mem Hierarchy Tlb

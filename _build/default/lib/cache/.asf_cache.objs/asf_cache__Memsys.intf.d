@@ -1,0 +1,1 @@
+lib/cache/memsys.mli: Asf_engine Asf_machine Asf_mem Hierarchy Tlb

@@ -1,0 +1,1 @@
+lib/cache/tlb.ml: Array Asf_machine Asf_mem Cache Hashtbl

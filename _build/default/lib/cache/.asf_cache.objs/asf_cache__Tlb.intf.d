@@ -1,0 +1,1 @@
+lib/cache/tlb.mli: Asf_machine Asf_mem

@@ -1,0 +1,84 @@
+type t = {
+  n_sets : int;
+  assoc : int;
+  (* tags.(set * assoc + way); -1 = invalid. *)
+  tags : int array;
+  (* LRU stamps, larger = more recent. *)
+  stamps : int array;
+  mutable clock : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~sets ~assoc =
+  if not (is_power_of_two sets) then
+    invalid_arg "Cache.create: sets must be a power of two";
+  if assoc <= 0 then invalid_arg "Cache.create: assoc must be positive";
+  {
+    n_sets = sets;
+    assoc;
+    tags = Array.make (sets * assoc) (-1);
+    stamps = Array.make (sets * assoc) 0;
+    clock = 0;
+  }
+
+let create_bytes ~size_bytes ~assoc ~line_bytes =
+  let sets = size_bytes / (assoc * line_bytes) in
+  create ~sets ~assoc
+
+let sets t = t.n_sets
+
+let assoc t = t.assoc
+
+let set_of t key = key land (t.n_sets - 1)
+
+let find_way t key =
+  let base = set_of t key * t.assoc in
+  let rec go w =
+    if w = t.assoc then None
+    else if t.tags.(base + w) = key then Some (base + w)
+    else go (w + 1)
+  in
+  go 0
+
+let mem t key = find_way t key <> None
+
+let touch t key =
+  t.clock <- t.clock + 1;
+  match find_way t key with
+  | Some i ->
+      t.stamps.(i) <- t.clock;
+      (true, None)
+  | None ->
+      let base = set_of t key * t.assoc in
+      (* Pick an invalid way, else the LRU way. *)
+      let victim = ref base in
+      let found_invalid = ref false in
+      for w = 0 to t.assoc - 1 do
+        let i = base + w in
+        if not !found_invalid then
+          if t.tags.(i) = -1 then begin
+            victim := i;
+            found_invalid := true
+          end
+          else if t.stamps.(i) < t.stamps.(!victim) then victim := i
+      done;
+      let evicted = if !found_invalid then None else Some t.tags.(!victim) in
+      t.tags.(!victim) <- key;
+      t.stamps.(!victim) <- t.clock;
+      (false, evicted)
+
+let invalidate t key =
+  match find_way t key with
+  | Some i ->
+      t.tags.(i) <- -1;
+      t.stamps.(i) <- 0;
+      true
+  | None -> false
+
+let iter t f =
+  Array.iter (fun tag -> if tag <> -1 then f tag) t.tags
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0

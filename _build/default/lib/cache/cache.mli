@@ -1,0 +1,33 @@
+(** Generic set-associative cache directory with LRU replacement.
+
+    Tracks presence only — data values live in {!Asf_mem.Ram}. Used for the
+    three data-cache levels and (with one set and high associativity) for
+    TLBs. Keys are cache-line indices (or page indices for TLB use). *)
+
+type t
+
+val create : sets:int -> assoc:int -> t
+(** [sets] and [assoc] must be positive; [sets] must be a power of two. *)
+
+val create_bytes : size_bytes:int -> assoc:int -> line_bytes:int -> t
+(** Convenience: [sets = size / (assoc * line)]. *)
+
+val sets : t -> int
+
+val assoc : t -> int
+
+val mem : t -> int -> bool
+(** Presence test without touching LRU state. *)
+
+val touch : t -> int -> bool * int option
+(** [touch t key] performs an access: on hit, updates LRU and returns
+    [(true, None)]; on miss, fills the entry, returning [(false, evicted)]
+    where [evicted] is the victim line pushed out, if the set was full. *)
+
+val invalidate : t -> int -> bool
+(** Removes an entry; returns whether it was present. *)
+
+val iter : t -> (int -> unit) -> unit
+(** Iterates over all resident keys (diagnostics, flash-clear helpers). *)
+
+val clear : t -> unit

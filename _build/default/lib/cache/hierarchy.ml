@@ -1,0 +1,163 @@
+module Params = Asf_machine.Params
+
+type level_stats = { mutable hits : int; mutable misses : int }
+
+type dir_entry = {
+  mutable owners : int;  (* bitmask of cores holding a copy *)
+  mutable dirty : int;  (* core owning an exclusive dirty copy, or -1 *)
+}
+
+type t = {
+  params : Params.t;
+  n_cores : int;
+  l1 : Cache.t array;
+  l2 : Cache.t array;
+  (* One L3 per socket. *)
+  l3 : Cache.t array;
+  dir : (int, dir_entry) Hashtbl.t;
+  evict_hooks : (int -> unit) array;
+  l1s : level_stats array;
+  l2s : level_stats array;
+  l3s : level_stats;
+  mutable invalidations : int;
+  mutable cross_socket_probes : int;
+}
+
+let fresh_stats () = { hits = 0; misses = 0 }
+
+let create (params : Params.t) ~n_cores =
+  let mk_l1 () =
+    Cache.create_bytes ~size_bytes:params.l1_bytes ~assoc:params.l1_assoc
+      ~line_bytes:params.line_bytes
+  in
+  let mk_l2 () =
+    Cache.create_bytes ~size_bytes:params.l2_bytes ~assoc:params.l2_assoc
+      ~line_bytes:params.line_bytes
+  in
+  {
+    params;
+    n_cores;
+    l1 = Array.init n_cores (fun _ -> mk_l1 ());
+    l2 = Array.init n_cores (fun _ -> mk_l2 ());
+    l3 =
+      Array.init params.n_sockets (fun _ ->
+          Cache.create_bytes ~size_bytes:params.l3_bytes ~assoc:params.l3_assoc
+            ~line_bytes:params.line_bytes);
+    dir = Hashtbl.create (1 lsl 16);
+    evict_hooks = Array.make n_cores (fun _ -> ());
+    l1s = Array.init n_cores (fun _ -> fresh_stats ());
+    l2s = Array.init n_cores (fun _ -> fresh_stats ());
+    l3s = fresh_stats ();
+    invalidations = 0;
+    cross_socket_probes = 0;
+  }
+
+let set_evict_hook t ~core f = t.evict_hooks.(core) <- f
+
+let dir_entry t line =
+  match Hashtbl.find_opt t.dir line with
+  | Some e -> e
+  | None ->
+      let e = { owners = 0; dirty = -1 } in
+      Hashtbl.add t.dir line e;
+      e
+
+let drop_from_core t ~core line =
+  if Cache.invalidate t.l1.(core) line then t.evict_hooks.(core) line;
+  ignore (Cache.invalidate t.l2.(core) line)
+
+let line_in_l1 t ~core ~line = Cache.mem t.l1.(core) line
+
+let socket_of t core = core * t.params.Params.n_sockets / t.n_cores
+
+let access t ~core ~line ~write =
+  let p = t.params in
+  let entry = dir_entry t line in
+  (* Latency from the nearest level that holds the line. A miss that must
+     be served by a remote dirty copy costs a cache-to-cache forward at
+     L3-like latency plus the probe. *)
+  let socket = socket_of t core in
+  let in_l1 = Cache.mem t.l1.(core) line in
+  let in_l2 = Cache.mem t.l2.(core) line in
+  let in_l3 = Cache.mem t.l3.(socket) line in
+  let remote_dirty = entry.dirty <> -1 && entry.dirty <> core in
+  (* Probes and forwards that cross a socket boundary pay the
+     interconnect hop. *)
+  let cross_penalty other_core =
+    if socket_of t other_core <> socket then begin
+      t.cross_socket_probes <- t.cross_socket_probes + 1;
+      p.cross_socket_latency
+    end
+    else 0
+  in
+  let base_latency =
+    if in_l1 then begin
+      t.l1s.(core).hits <- t.l1s.(core).hits + 1;
+      p.l1_latency
+    end
+    else begin
+      t.l1s.(core).misses <- t.l1s.(core).misses + 1;
+      if in_l2 then begin
+        t.l2s.(core).hits <- t.l2s.(core).hits + 1;
+        p.l2_latency
+      end
+      else begin
+        t.l2s.(core).misses <- t.l2s.(core).misses + 1;
+        if remote_dirty then p.l3_latency (* cache-to-cache forward *)
+        else if in_l3 then begin
+          t.l3s.hits <- t.l3s.hits + 1;
+          p.l3_latency
+        end
+        else begin
+          t.l3s.misses <- t.l3s.misses + 1;
+          p.mem_latency
+        end
+      end
+    end
+  in
+  let extra = ref 0 in
+  let my_bit = 1 lsl core in
+  if write then begin
+    let others = entry.owners land lnot my_bit in
+    if others <> 0 || remote_dirty then begin
+      extra := !extra + p.coherence_probe_latency;
+      t.invalidations <- t.invalidations + 1;
+      let crossed = ref false in
+      for c = 0 to t.n_cores - 1 do
+        if c <> core && others land (1 lsl c) <> 0 then begin
+          if socket_of t c <> socket then crossed := true;
+          drop_from_core t ~core:c line
+        end
+      done;
+      if !crossed then begin
+        t.cross_socket_probes <- t.cross_socket_probes + 1;
+        extra := !extra + p.cross_socket_latency
+      end
+    end;
+    entry.owners <- my_bit;
+    entry.dirty <- core
+  end
+  else begin
+    if remote_dirty then begin
+      extra := !extra + p.coherence_probe_latency + cross_penalty entry.dirty;
+      entry.dirty <- -1 (* downgrade to shared; memory is already current *)
+    end;
+    entry.owners <- entry.owners lor my_bit
+  end;
+  (* Fill this core's caches and the shared L3. *)
+  (match Cache.touch t.l1.(core) line with
+  | _, Some victim -> t.evict_hooks.(core) victim
+  | _, None -> ());
+  ignore (Cache.touch t.l2.(core) line);
+  ignore (Cache.touch t.l3.(socket) line);
+  base_latency + !extra
+
+let l1_stats t ~core = t.l1s.(core)
+
+let l2_stats t ~core = t.l2s.(core)
+
+let l3_stats t = t.l3s
+
+let invalidations t = t.invalidations
+
+let cross_socket_probes t = t.cross_socket_probes

@@ -1,0 +1,136 @@
+module Params = Asf_machine.Params
+module Engine = Asf_engine.Engine
+module Addr = Asf_mem.Addr
+module Ram = Asf_mem.Ram
+
+type fault = Unmapped of int | Tlb_miss
+
+type t = {
+  params : Params.t;
+  engine : Engine.t;
+  ram : Ram.t;
+  tlb : Tlb.t;
+  hier : Hierarchy.t;
+  mutable probe_hook : requester:int -> line:int -> write:bool -> unit;
+  mutable fault_hook : (core:int -> fault -> unit) option;
+  mutable loads : int;
+  mutable stores : int;
+  mutable faults_serviced : int;
+}
+
+let create params engine =
+  let n_cores = Engine.n_cores engine in
+  {
+    params;
+    engine;
+    ram = Ram.create ();
+    tlb = Tlb.create params ~n_cores;
+    hier = Hierarchy.create params ~n_cores;
+    probe_hook = (fun ~requester:_ ~line:_ ~write:_ -> ());
+    fault_hook = None;
+    loads = 0;
+    stores = 0;
+    faults_serviced = 0;
+  }
+
+let params t = t.params
+
+let engine t = t.engine
+
+let ram t = t.ram
+
+let tlb t = t.tlb
+
+let hierarchy t = t.hier
+
+let set_probe_hook t f = t.probe_hook <- f
+
+let set_fault_hook t f = t.fault_hook <- Some f
+
+let set_evict_hook t ~core f = Hierarchy.set_evict_hook t.hier ~core f
+
+let scale t latency =
+  max 1 (int_of_float ((float_of_int latency *. t.params.ooo_factor) +. 0.5))
+
+let deliver_fault t ~core fault =
+  match t.fault_hook with Some h -> h ~core fault | None -> ()
+
+let service_fault t ~page =
+  t.faults_serviced <- t.faults_serviced + 1;
+  Engine.elapse t.params.page_fault_latency;
+  Tlb.map_page t.tlb page
+
+(* Translate, retrying after OS-serviced minor faults. Returns the extra
+   translation latency. A registered fault hook that raises (ASF abort)
+   interrupts the access before any state change. *)
+let rec translate t ~core ~speculative addr =
+  match Tlb.translate t.tlb ~core addr ~speculative with
+  | Tlb.Translated extra -> extra
+  | Tlb.Tlb_miss_abort extra ->
+      Engine.elapse (scale t extra);
+      deliver_fault t ~core Tlb_miss;
+      (* The hook must raise; if the ablation is on without a hook we fall
+         back to normal translation semantics. *)
+      translate t ~core ~speculative addr
+  | Tlb.Fault page ->
+      deliver_fault t ~core (Unmapped page);
+      service_fault t ~page;
+      translate t ~core ~speculative addr
+
+(* The data transfer ([apply]) must take effect at the access's commit
+   point: after the coherence probe (so conflicting regions roll back
+   first and requester-wins ordering holds) but before the cache fill —
+   a fill can displace a hybrid-tracked line and doom the *requester's
+   own* region, whose rollback must cover this very store. *)
+let timed_access t ~core ~speculative ~write ~apply addr =
+  let extra = translate t ~core ~speculative addr in
+  let line = Addr.line_of addr in
+  t.probe_hook ~requester:core ~line ~write;
+  let result = apply () in
+  let lat = Hierarchy.access t.hier ~core ~line ~write in
+  Engine.elapse (scale t (lat + extra));
+  result
+
+let load t ~core ?(speculative = false) addr =
+  t.loads <- t.loads + 1;
+  timed_access t ~core ~speculative ~write:false addr ~apply:(fun () ->
+      Ram.read t.ram addr)
+
+let store t ~core ?(speculative = false) addr v =
+  t.stores <- t.stores + 1;
+  timed_access t ~core ~speculative ~write:true addr ~apply:(fun () ->
+      Ram.write t.ram addr v)
+
+let cas t ~core addr ~expect ~value =
+  t.loads <- t.loads + 1;
+  t.stores <- t.stores + 1;
+  timed_access t ~core ~speculative:false ~write:true addr ~apply:(fun () ->
+      let cur = Ram.read t.ram addr in
+      let ok = cur = expect in
+      if ok then Ram.write t.ram addr value;
+      ok)
+
+let faa t ~core addr delta =
+  t.loads <- t.loads + 1;
+  t.stores <- t.stores + 1;
+  timed_access t ~core ~speculative:false ~write:true addr ~apply:(fun () ->
+      let cur = Ram.read t.ram addr in
+      Ram.write t.ram addr (cur + delta);
+      cur)
+
+let touch_line t ~core ?(speculative = true) ~write addr =
+  timed_access t ~core ~speculative ~write addr ~apply:(fun () -> ())
+
+let peek t addr = Ram.read t.ram addr
+
+let poke t addr v =
+  Tlb.map_page t.tlb (Addr.page_of addr);
+  Ram.write t.ram addr v
+
+let map_page t page = Tlb.map_page t.tlb page
+
+let loads t = t.loads
+
+let stores t = t.stores
+
+let faults_serviced t = t.faults_serviced

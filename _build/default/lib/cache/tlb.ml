@@ -1,0 +1,67 @@
+module Params = Asf_machine.Params
+module Addr = Asf_mem.Addr
+
+type t = {
+  params : Params.t;
+  l1 : Cache.t array;
+  l2 : Cache.t array;
+  page_table : (int, unit) Hashtbl.t;
+  mutable abort_on_tlb_miss : bool;
+}
+
+type outcome = Translated of int | Fault of int | Tlb_miss_abort of int
+
+let create (params : Params.t) ~n_cores =
+  {
+    params;
+    l1 =
+      Array.init n_cores (fun _ ->
+          Cache.create ~sets:1 ~assoc:params.tlb_l1_entries);
+    l2 =
+      Array.init n_cores (fun _ ->
+          Cache.create
+            ~sets:(params.tlb_l2_entries / params.tlb_l2_assoc)
+            ~assoc:params.tlb_l2_assoc);
+    page_table = Hashtbl.create 4096;
+    abort_on_tlb_miss = false;
+  }
+
+let page_mapped t page = Hashtbl.mem t.page_table page
+
+let map_page t page =
+  if not (page_mapped t page) then Hashtbl.add t.page_table page ()
+
+let map_range t addr words =
+  let first = Addr.page_of addr and last = Addr.page_of (addr + words - 1) in
+  for p = first to last do
+    map_page t p
+  done
+
+let set_abort_on_tlb_miss t b = t.abort_on_tlb_miss <- b
+
+let translate t ~core addr ~speculative =
+  let page = Addr.page_of addr in
+  let l1 = t.l1.(core) and l2 = t.l2.(core) in
+  if Cache.mem l1 page then begin
+    ignore (Cache.touch l1 page);
+    Translated 0
+  end
+  else if Cache.mem l2 page then begin
+    ignore (Cache.touch l2 page);
+    ignore (Cache.touch l1 page);
+    if t.abort_on_tlb_miss && speculative then
+      Tlb_miss_abort t.params.tlb_l2_latency
+    else Translated t.params.tlb_l2_latency
+  end
+  else if not (page_mapped t page) then Fault page
+  else begin
+    if t.abort_on_tlb_miss && speculative then
+      Tlb_miss_abort t.params.page_walk_latency
+    else begin
+      ignore (Cache.touch l2 page);
+      ignore (Cache.touch l1 page);
+      Translated t.params.page_walk_latency
+    end
+  end
+
+let mapped_pages t = Hashtbl.length t.page_table

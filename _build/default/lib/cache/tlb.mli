@@ -1,0 +1,36 @@
+(** Two-level per-core data TLB with a shared page table.
+
+    Translation returns extra cycles on top of the data-cache latency:
+    0 on an L1-TLB hit, [tlb_l2_latency] on an L2 hit, [page_walk_latency]
+    on a full miss. If the page is not mapped in the shared page table, the
+    walk reports a fault instead of filling the TLB — first-touch minor
+    faults, which inside an ASF speculative region abort the region (unlike
+    mere TLB misses, which ASF tolerates; cf. the Rock comparison in the
+    paper). The [abort_on_tlb_miss] flag enables the Rock-style ablation. *)
+
+type t
+
+val create : Asf_machine.Params.t -> n_cores:int -> t
+
+type outcome =
+  | Translated of int  (** extra latency in cycles *)
+  | Fault of int  (** unmapped page index *)
+  | Tlb_miss_abort of int
+      (** full TLB miss with Rock-style semantics enabled; payload is the
+          extra latency already incurred *)
+
+val translate : t -> core:int -> Asf_mem.Addr.t -> speculative:bool -> outcome
+
+val map_page : t -> int -> unit
+(** OS page-table update: marks a page present. *)
+
+val page_mapped : t -> int -> bool
+
+val map_range : t -> Asf_mem.Addr.t -> int -> unit
+(** [map_range t addr words] maps every page overlapping the range (setup
+    helper: memory initialised before the measured run is already mapped). *)
+
+val set_abort_on_tlb_miss : t -> bool -> unit
+(** Ablation switch (default off = ASF semantics). *)
+
+val mapped_pages : t -> int

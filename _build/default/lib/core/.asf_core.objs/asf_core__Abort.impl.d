@@ -1,0 +1,1 @@
+lib/core/abort.ml: Array Format Printf

@@ -1,0 +1,1 @@
+lib/core/asf.ml: Abort Array Asf_cache Asf_engine Asf_machine Asf_mem Hashtbl Llb Variant

@@ -1,0 +1,1 @@
+lib/core/asf.mli: Abort Asf_cache Asf_mem Variant

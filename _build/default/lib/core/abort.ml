@@ -1,0 +1,45 @@
+type t =
+  | Contention
+  | Capacity
+  | Page_fault of int
+  | Tlb_miss
+  | Interrupt
+  | Syscall
+  | Explicit of int
+  | Malloc
+  | Disallowed
+
+let index = function
+  | Contention -> 0
+  | Capacity -> 1
+  | Page_fault _ -> 2
+  | Tlb_miss -> 3
+  | Interrupt -> 4
+  | Syscall -> 5
+  | Explicit _ -> 6
+  | Malloc -> 7
+  | Disallowed -> 8
+
+let n_classes = 9
+
+let class_names =
+  [|
+    "contention";
+    "capacity";
+    "page-fault";
+    "tlb-miss";
+    "interrupt";
+    "syscall";
+    "explicit";
+    "malloc";
+    "disallowed";
+  |]
+
+let class_name i = class_names.(i)
+
+let to_string = function
+  | Page_fault p -> Printf.sprintf "page-fault(page=%d)" p
+  | Explicit c -> Printf.sprintf "explicit(%d)" c
+  | r -> class_names.(index r)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,32 @@
+(** ASF abort reasons.
+
+    On abort, ASF delivers a status code in rAX describing why the
+    speculative region was rolled back. The first six constructors are the
+    architectural classes from the specification; [Malloc] is the runtime
+    convention ASF-TM uses when a transactional allocation cannot be
+    satisfied speculatively (reported in the paper's Fig. 6 as
+    "Abort (malloc)"). *)
+
+type t =
+  | Contention  (** requester-wins conflict on a protected line *)
+  | Capacity  (** protected-line capacity exceeded (incl. transient L1
+                  displacement in the hybrid variants) *)
+  | Page_fault of int  (** page fault inside the region; payload: page *)
+  | Tlb_miss  (** Rock-style ablation only; real ASF survives TLB misses *)
+  | Interrupt  (** timer interrupt / privilege-level switch *)
+  | Syscall  (** disallowed operation requiring the OS *)
+  | Explicit of int  (** ABORT instruction with an immediate *)
+  | Malloc  (** ASF-TM: speculative allocation pool exhausted *)
+  | Disallowed  (** disallowed instruction / nesting overflow *)
+
+val index : t -> int
+(** Dense index for statistics arrays, in [0, n_classes). [Page_fault _]
+    and [Explicit _] each map to one class. *)
+
+val n_classes : int
+
+val class_name : int -> string
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,311 @@
+module Engine = Asf_engine.Engine
+module Addr = Asf_mem.Addr
+module Ram = Asf_mem.Ram
+module Memsys = Asf_cache.Memsys
+module Tlb = Asf_cache.Tlb
+
+exception Aborted of Abort.t
+
+exception Colocation_fault of { core : int; line : int }
+
+type costs = {
+  speculate_cycles : int;
+  commit_cycles : int;
+  abort_cycles : int;
+  release_cycles : int;
+}
+
+let default_costs =
+  { speculate_cycles = 8; commit_cycles = 14; abort_cycles = 40; release_cycles = 2 }
+
+let max_nesting = 256
+
+type region = {
+  mutable active : bool;
+  mutable nesting : int;
+  mutable doomed : Abort.t option;
+  llb : Llb.t;
+  (* Hybrid variants: speculatively-read lines tracked via the L1. *)
+  tracked : (int, unit) Hashtbl.t;
+  mutable start_time : int;
+}
+
+type t = {
+  mem : Memsys.t;
+  engine : Engine.t;
+  variant : Variant.t;
+  costs : costs;
+  requester_wins : bool;
+  regions : region array;
+  quantum : int;
+  mutable speculates : int;
+  mutable commits : int;
+  aborts : int array;
+}
+
+let variant t = t.variant
+
+let memsys t = t.mem
+
+let region t core = t.regions.(core)
+
+(* Roll back a region's speculative stores and clear its protected sets,
+   recording the first abort reason. Idempotent; the victim observes the
+   doom at its next ASF operation. The rollback writes RAM directly: the
+   hardware answers the conflicting probe only after write-back, so the
+   requester's access (which reads RAM after this hook) sees pre-
+   transactional data. *)
+let doom t core reason =
+  let r = region t core in
+  if r.active && r.doomed = None then begin
+    r.doomed <- Some reason;
+    let ram = Memsys.ram t.mem in
+    Llb.iter_written r.llb (fun line backup -> Ram.write_line ram line backup);
+    Llb.clear r.llb;
+    Hashtbl.reset r.tracked
+  end
+
+(* A write probe conflicts with read and write sets; a read probe
+   conflicts with write sets only. *)
+let region_conflicts t r ~line ~write =
+  let in_write = Llb.written r.llb line in
+  let in_read =
+    Llb.mem r.llb line
+    || (t.variant.Variant.l1_read_set && Hashtbl.mem r.tracked line)
+  in
+  in_write || (write && in_read)
+
+(* Requester-wins: any conflicting probe dooms the region that already
+   holds the line. *)
+let resolve t ~requester ~line ~write =
+  Array.iteri
+    (fun core r ->
+      if core <> requester && r.active && r.doomed = None then
+        if region_conflicts t r ~line ~write then doom t core Abort.Contention)
+    t.regions
+
+let any_remote_conflict t ~requester ~line ~write =
+  let found = ref false in
+  Array.iteri
+    (fun core r ->
+      if core <> requester && r.active && r.doomed = None then
+        if region_conflicts t r ~line ~write then found := true)
+    t.regions;
+  !found
+
+(* Deliver an abort to the calling core: reason from the doomed flag (the
+   region is already rolled back), pipeline-flush cost, region reset. *)
+let finish_abort t core =
+  let r = region t core in
+  let reason = match r.doomed with Some x -> x | None -> assert false in
+  r.active <- false;
+  r.nesting <- 0;
+  r.doomed <- None;
+  t.aborts.(Abort.index reason) <- t.aborts.(Abort.index reason) + 1;
+  Engine.elapse t.costs.abort_cycles;
+  raise (Aborted reason)
+
+let self_abort t ~core reason =
+  let r = region t core in
+  if not r.active then invalid_arg "Asf.self_abort: no active region";
+  doom t core reason;
+  finish_abort t core
+
+(* Interrupts abort in-flight regions: a region whose lifetime crosses a
+   timer-tick boundary is rolled back when it next executes an ASF op. *)
+let interrupt_pending t core =
+  let now = Engine.core_time t.engine core in
+  let r = region t core in
+  now / t.quantum <> r.start_time / t.quantum
+
+let check t core =
+  let r = region t core in
+  if not r.active then invalid_arg "Asf: ASF operation outside a speculative region";
+  if r.doomed <> None then finish_abort t core;
+  if interrupt_pending t core then begin
+    doom t core Abort.Interrupt;
+    finish_abort t core
+  end
+
+let create ?(costs = default_costs) ?(requester_wins = true) mem variant =
+  let engine = Memsys.engine mem in
+  let n_cores = Engine.n_cores engine in
+  let t =
+    {
+      mem;
+      engine;
+      variant;
+      costs;
+      requester_wins;
+      regions =
+        Array.init n_cores (fun _ ->
+            {
+              active = false;
+              nesting = 0;
+              doomed = None;
+              llb = Llb.create ~capacity:variant.Variant.llb_entries;
+              tracked = Hashtbl.create 64;
+              start_time = 0;
+            });
+      quantum = (Memsys.params mem).Asf_machine.Params.interrupt_quantum;
+      speculates = 0;
+      commits = 0;
+      aborts = Array.make Abort.n_classes 0;
+    }
+  in
+  Memsys.set_probe_hook mem (fun ~requester ~line ~write ->
+      resolve t ~requester ~line ~write);
+  (* L1-resident protection: displacement of a tracked read line from the
+     L1 is a (possibly transient) capacity overflow — unless the line is
+     in the write set and an LLB protects it independently. In the pure
+     cache-based variant written lines are also L1-resident, so their
+     displacement aborts too. *)
+  if variant.Variant.l1_read_set then
+    for core = 0 to n_cores - 1 do
+      Memsys.set_evict_hook mem ~core (fun line ->
+          let r = region t core in
+          if r.active && r.doomed = None then begin
+            let written = Llb.written r.llb line in
+            if
+              (Hashtbl.mem r.tracked line && not written)
+              || (written && variant.Variant.l1_write_set)
+            then doom t core Abort.Capacity
+          end)
+    done;
+  Memsys.set_fault_hook mem (fun ~core fault ->
+      let r = region t core in
+      if r.active then begin
+        let reason =
+          match fault with
+          | Memsys.Unmapped page -> Abort.Page_fault page
+          | Memsys.Tlb_miss -> Abort.Tlb_miss
+        in
+        doom t core reason;
+        finish_abort t core
+      end);
+  t
+
+let speculate t ~core =
+  let r = region t core in
+  if r.active then begin
+    check t core;
+    if r.nesting >= max_nesting then self_abort t ~core Abort.Disallowed;
+    r.nesting <- r.nesting + 1
+  end
+  else begin
+    r.active <- true;
+    r.nesting <- 1;
+    r.doomed <- None;
+    r.start_time <- Engine.core_time t.engine core;
+    t.speculates <- t.speculates + 1;
+    Engine.elapse t.costs.speculate_cycles
+  end
+
+let commit t ~core =
+  check t core;
+  let r = region t core in
+  if r.nesting > 1 then r.nesting <- r.nesting - 1
+  else begin
+    (* Outermost commit: speculative values in RAM become authoritative;
+       flash-clear the protected sets. *)
+    Llb.clear r.llb;
+    Hashtbl.reset r.tracked;
+    r.active <- false;
+    r.nesting <- 0;
+    t.commits <- t.commits + 1;
+    Engine.elapse t.costs.commit_cycles
+  end
+
+let abort_explicit t ~core ~code = self_abort t ~core (Abort.Explicit code)
+
+let track_read t core line =
+  let r = region t core in
+  if not (Llb.written r.llb line) then
+    if t.variant.Variant.l1_read_set then Hashtbl.replace r.tracked line ()
+    else if not (Llb.protect_read r.llb line) then
+      self_abort t ~core Abort.Capacity
+
+(* Requester-loses ablation: a speculative access that would conflict
+   with another region aborts itself before touching memory, leaving the
+   holder undisturbed. *)
+let loses_check t ~core ~line ~write =
+  if (not t.requester_wins) && any_remote_conflict t ~requester:core ~line ~write
+  then self_abort t ~core Abort.Contention
+
+(* Protection must be established at issue time, before the access's
+   latency is charged: a remote store arriving while this load is in
+   flight must observe the conflict. *)
+let lock_load t ~core addr =
+  check t core;
+  loses_check t ~core ~line:(Addr.line_of addr) ~write:false;
+  track_read t core (Addr.line_of addr);
+  Memsys.load t.mem ~core ~speculative:true addr
+
+(* Stores must resolve remote conflicts *before* snapshotting the backup:
+   a conflicting victim's rollback restores the line first, so the backup
+   captures committed data only. The page-presence precheck keeps fault
+   delivery ahead of any victim dooming. *)
+let prepare_store t ~core addr =
+  check t core;
+  let page = Addr.page_of addr in
+  if not (Tlb.page_mapped (Memsys.tlb t.mem) page) then begin
+    doom t core (Abort.Page_fault page);
+    finish_abort t core
+  end;
+  let line = Addr.line_of addr in
+  loses_check t ~core ~line ~write:true;
+  resolve t ~requester:core ~line ~write:true;
+  let r = region t core in
+  if not (Llb.written r.llb line) then begin
+    let backup = Ram.read_line (Memsys.ram t.mem) line in
+    if not (Llb.protect_write r.llb line ~backup) then
+      self_abort t ~core Abort.Capacity;
+    if t.variant.Variant.l1_read_set then Hashtbl.remove r.tracked line
+  end
+
+let lock_store t ~core addr v =
+  prepare_store t ~core addr;
+  Memsys.store t.mem ~core ~speculative:true addr v
+
+let watchr t ~core addr =
+  check t core;
+  loses_check t ~core ~line:(Addr.line_of addr) ~write:false;
+  track_read t core (Addr.line_of addr);
+  Memsys.touch_line t.mem ~core ~speculative:true ~write:false addr
+
+let watchw t ~core addr =
+  prepare_store t ~core addr;
+  Memsys.touch_line t.mem ~core ~speculative:true ~write:true addr
+
+let release t ~core addr =
+  check t core;
+  let r = region t core in
+  let line = Addr.line_of addr in
+  if t.variant.Variant.l1_read_set then begin
+    if not (Llb.written r.llb line) then Hashtbl.remove r.tracked line
+  end
+  else ignore (Llb.release r.llb line);
+  Engine.elapse t.costs.release_cycles
+
+let plain_load t ~core addr = Memsys.load t.mem ~core ~speculative:false addr
+
+let plain_store t ~core addr v =
+  let r = region t core in
+  let line = Addr.line_of addr in
+  if r.active && r.doomed = None && Llb.written r.llb line then
+    raise (Colocation_fault { core; line });
+  Memsys.store t.mem ~core ~speculative:false addr v
+
+let in_region t ~core = (region t core).active
+
+let protected_lines t ~core =
+  let r = region t core in
+  Llb.entries r.llb + Hashtbl.length r.tracked
+
+let written_lines t ~core = Llb.written_count (region t core).llb
+
+let speculates t = t.speculates
+
+let commits t = t.commits
+
+let aborts t = t.aborts

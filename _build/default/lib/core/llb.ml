@@ -1,0 +1,64 @@
+type entry = { mutable backup : int array option }
+
+type t = {
+  capacity : int;
+  lines : (int, entry) Hashtbl.t;
+  mutable written_count : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Llb.create: capacity must be positive";
+  { capacity; lines = Hashtbl.create (min 1024 (2 * capacity)); written_count = 0 }
+
+let capacity t = t.capacity
+
+let entries t = Hashtbl.length t.lines
+
+let mem t line = Hashtbl.mem t.lines line
+
+let written t line =
+  match Hashtbl.find_opt t.lines line with
+  | Some { backup = Some _ } -> true
+  | _ -> false
+
+let protect_read t line =
+  if Hashtbl.mem t.lines line then true
+  else if Hashtbl.length t.lines >= t.capacity then false
+  else begin
+    Hashtbl.add t.lines line { backup = None };
+    true
+  end
+
+let protect_write t line ~backup =
+  match Hashtbl.find_opt t.lines line with
+  | Some e ->
+      if e.backup = None then begin
+        e.backup <- Some backup;
+        t.written_count <- t.written_count + 1
+      end;
+      true
+  | None ->
+      if Hashtbl.length t.lines >= t.capacity then false
+      else begin
+        Hashtbl.add t.lines line { backup = Some backup };
+        t.written_count <- t.written_count + 1;
+        true
+      end
+
+let release t line =
+  match Hashtbl.find_opt t.lines line with
+  | Some { backup = None } ->
+      Hashtbl.remove t.lines line;
+      true
+  | Some { backup = Some _ } | None -> false
+
+let iter_written t f =
+  Hashtbl.iter
+    (fun line e -> match e.backup with Some b -> f line b | None -> ())
+    t.lines
+
+let written_count t = t.written_count
+
+let clear t =
+  Hashtbl.reset t.lines;
+  t.written_count <- 0

@@ -1,0 +1,43 @@
+(** Locked-line buffer.
+
+    A small fully-associative CPU structure holding, per protected line,
+    whether it has been speculatively written and — if so — a backup of the
+    line's pre-transactional contents, written back on abort. Because it is
+    fully associative it is not subject to cache-index conflicts; its only
+    limit is the entry count. *)
+
+type t
+
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+val entries : t -> int
+(** Number of protected lines currently held. *)
+
+val mem : t -> int -> bool
+(** Is the line protected (read or written)? *)
+
+val written : t -> int -> bool
+
+val protect_read : t -> int -> bool
+(** Adds a read-only entry for the line. Returns [false] (and adds
+    nothing) if the buffer is full. Idempotent for present lines. *)
+
+val protect_write : t -> int -> backup:int array -> bool
+(** Marks the line written, storing [backup] (its pre-transactional
+    contents) if it was not already written; upgrades an existing read
+    entry in place. Returns [false] if a new entry would not fit. *)
+
+val release : t -> int -> bool
+(** Drops a read-only entry (the RELEASE hint). Returns [false] — and
+    leaves the buffer unchanged — if the line is absent or written:
+    a pending speculative store cannot be cancelled. *)
+
+val iter_written : t -> (int -> int array -> unit) -> unit
+(** Iterates over written lines and their backups (abort rollback). *)
+
+val written_count : t -> int
+
+val clear : t -> unit
+(** Flash-clear on commit or after rollback. *)

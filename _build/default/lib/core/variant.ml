@@ -1,0 +1,32 @@
+type t = {
+  name : string;
+  llb_entries : int;
+  l1_read_set : bool;
+  l1_write_set : bool;
+}
+
+let llb8 =
+  { name = "LLB-8"; llb_entries = 8; l1_read_set = false; l1_write_set = false }
+
+let llb256 =
+  { name = "LLB-256"; llb_entries = 256; l1_read_set = false; l1_write_set = false }
+
+let llb8_l1 =
+  { name = "LLB-8 w/ L1"; llb_entries = 8; l1_read_set = true; l1_write_set = false }
+
+let llb256_l1 =
+  { name = "LLB-256 w/ L1"; llb_entries = 256; l1_read_set = true; l1_write_set = false }
+
+let cache_based =
+  {
+    name = "L1 cache-based";
+    llb_entries = max_int;
+    l1_read_set = true;
+    l1_write_set = true;
+  }
+
+let all = [ llb8; llb256; llb8_l1; llb256_l1 ]
+
+let min_guaranteed_lines = 4
+
+let pp fmt t = Format.pp_print_string fmt t.name

@@ -1,0 +1,54 @@
+(** ASF hardware implementation variants (Section 2.3 of the paper).
+
+    The paper describes three implementation strategies; its simulator
+    implements the last two, and this library implements all three:
+
+    - {e cache-based}: both the read and the write set live in the L1 via
+      speculative-read/-write bits; capacity is potentially the whole L1
+      but bounded by its (2-way) associativity, and any displacement of a
+      protected line aborts ({!cache_based} — our extension beyond the
+      paper's simulator);
+    - {e LLB-based}: a fully-associative locked-line buffer holds every
+      protected line plus backups of written lines; capacity is the entry
+      count, with no associativity constraints ({!llb8}, {!llb256});
+    - {e hybrid}: the L1 tracks speculatively-read lines while the LLB
+      backs up the write set ({!llb8_l1}, {!llb256_l1}).
+
+    [llb_entries] bounds the LLB where one is used ([max_int] means no
+    LLB bound, i.e. write capacity is governed by the L1). *)
+
+type t = {
+  name : string;
+  llb_entries : int;
+  l1_read_set : bool;  (** reads tracked by L1 residency *)
+  l1_write_set : bool;  (** writes also require L1 residency (cache-based
+                            implementation); backups are per-line, not
+                            LLB-bounded *)
+}
+
+val llb8 : t
+(** "LLB-8" *)
+
+val llb256 : t
+(** "LLB-256" *)
+
+val llb8_l1 : t
+(** "LLB-8 w/ L1" *)
+
+val llb256_l1 : t
+(** "LLB-256 w/ L1" *)
+
+val cache_based : t
+(** "L1 cache-based": the first implementation variant of Section 2.3.
+    Not part of the paper's evaluation (their simulator implemented only
+    the other two); provided for the ablation [abl-cache]. *)
+
+val all : t list
+(** The four variants evaluated in the paper, in figure order
+    (excludes {!cache_based}). *)
+
+val min_guaranteed_lines : int
+(** The architectural minimum capacity (4 lines) for which ASF ensures
+    eventual forward progress in the absence of contention. *)
+
+val pp : Format.formatter -> t -> unit

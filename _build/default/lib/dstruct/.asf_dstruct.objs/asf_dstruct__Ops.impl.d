@@ -1,0 +1,1 @@
+lib/dstruct/ops.ml: Asf_engine Asf_mem Asf_tm_rt

@@ -1,0 +1,1 @@
+lib/dstruct/ops.mli: Asf_mem Asf_tm_rt

@@ -1,0 +1,1 @@
+lib/dstruct/thashmap.ml: Asf_mem Ops

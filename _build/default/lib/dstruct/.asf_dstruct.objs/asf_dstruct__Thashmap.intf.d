@@ -1,0 +1,1 @@
+lib/dstruct/thashmap.mli: Asf_mem Ops

@@ -1,0 +1,1 @@
+lib/dstruct/thashset.mli: Asf_mem Ops

@@ -1,0 +1,1 @@
+lib/dstruct/tlist.ml: Asf_mem List Ops

@@ -1,0 +1,1 @@
+lib/dstruct/tlist.mli: Asf_mem Ops

@@ -1,0 +1,1 @@
+lib/dstruct/tqueue.ml: Asf_mem Ops

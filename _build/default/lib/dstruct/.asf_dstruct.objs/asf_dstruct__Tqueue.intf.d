@@ -1,0 +1,1 @@
+lib/dstruct/tqueue.mli: Asf_mem Ops

@@ -1,0 +1,1 @@
+lib/dstruct/trbtree.ml: Asf_mem List Ops

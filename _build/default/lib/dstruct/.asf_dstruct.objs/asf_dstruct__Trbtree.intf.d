@@ -1,0 +1,1 @@
+lib/dstruct/trbtree.mli: Asf_mem Ops

@@ -1,0 +1,1 @@
+lib/dstruct/tskiplist.ml: Array Asf_mem List Ops

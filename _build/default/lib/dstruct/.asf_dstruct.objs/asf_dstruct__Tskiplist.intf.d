@@ -1,0 +1,1 @@
+lib/dstruct/tskiplist.mli: Asf_mem Ops

@@ -1,0 +1,34 @@
+module Tm = Asf_tm_rt.Tm
+module Prng = Asf_engine.Prng
+
+type t = {
+  ld : Asf_mem.Addr.t -> int;
+  st : Asf_mem.Addr.t -> int -> unit;
+  alloc : int -> Asf_mem.Addr.t;
+  free : Asf_mem.Addr.t -> int -> unit;
+  release : Asf_mem.Addr.t -> unit;
+  rand_bits : unit -> int;
+}
+
+let tx ctx =
+  {
+    ld = Tm.load ctx;
+    st = Tm.store ctx;
+    alloc = Tm.malloc ctx;
+    free = Tm.free ctx;
+    release = (fun _ -> ());
+    rand_bits = (fun () -> Prng.int (Tm.prng ctx) (1 lsl 30));
+  }
+
+let tx_er ctx = { (tx ctx) with release = Tm.release ctx }
+
+let setup sys =
+  let rng = Prng.create 0x5e70 in
+  {
+    ld = Tm.setup_peek sys;
+    st = Tm.setup_poke sys;
+    alloc = Tm.setup_alloc sys;
+    free = (fun _ _ -> ());
+    release = (fun _ -> ());
+    rand_bits = (fun () -> Prng.int rng (1 lsl 30));
+  }

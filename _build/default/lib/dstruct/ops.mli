@@ -1,0 +1,29 @@
+(** Memory-operation capability records for shared data structures.
+
+    A data structure implemented once against {!t} can be executed in
+    three ways without code duplication:
+
+    - {!tx}: inside a transaction, with transactional loads/stores and the
+      context's transactional allocator (the normal case);
+    - {!tx_er}: like {!tx}, but traversals may use ASF early release via
+      the [release] field (no-op on non-ASF paths);
+    - {!setup}: untimed, page-mapping accesses for building benchmark
+      state before the measured run. *)
+
+type t = {
+  ld : Asf_mem.Addr.t -> int;
+  st : Asf_mem.Addr.t -> int -> unit;
+  alloc : int -> Asf_mem.Addr.t;  (** words, line-padded *)
+  free : Asf_mem.Addr.t -> int -> unit;
+  release : Asf_mem.Addr.t -> unit;  (** early release (hint) *)
+  rand_bits : unit -> int;  (** 30 random bits (skip-list levels) *)
+}
+
+val tx : Asf_tm_rt.Tm.ctx -> t
+(** Transactional operations, early release disabled. *)
+
+val tx_er : Asf_tm_rt.Tm.ctx -> t
+(** Transactional operations with early release enabled. *)
+
+val setup : Asf_tm_rt.Tm.system -> t
+(** Untimed setup operations; allocation pre-maps pages. *)

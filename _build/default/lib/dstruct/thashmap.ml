@@ -1,0 +1,94 @@
+(* Metadata: [0] bucket count, [1] bucket-array base.
+   Bucket: one word holding the chain head (0 = empty).
+   Chain node (one padded line): [0] key, [1] value, [2] next. *)
+
+type t = { meta : Asf_mem.Addr.t }
+
+let f_key = 0
+
+let f_value = 1
+
+let f_next = 2
+
+let node_words = 3
+
+let create (o : Ops.t) ~buckets =
+  if buckets <= 0 || buckets land (buckets - 1) <> 0 then
+    invalid_arg "Thashmap.create: buckets must be a power of two";
+  let base = o.alloc buckets in
+  for i = 0 to buckets - 1 do
+    o.st (base + i) 0
+  done;
+  let meta = o.alloc 2 in
+  o.st meta buckets;
+  o.st (meta + 1) base;
+  { meta }
+
+let handle_of_root meta = { meta }
+
+let meta t = t.meta
+
+let bucket_of (o : Ops.t) t k =
+  let n = o.ld t.meta in
+  let base = o.ld (t.meta + 1) in
+  base + (k * 0x9E3779B1 lsr 6 land (n - 1))
+
+let find_node (o : Ops.t) t k =
+  let rec go n = if n = 0 || o.ld (n + f_key) = k then n else go (o.ld (n + f_next)) in
+  go (o.ld (bucket_of o t k))
+
+let get (o : Ops.t) t k =
+  let n = find_node o t k in
+  if n = 0 then None else Some (o.ld (n + f_value))
+
+let mem (o : Ops.t) t k = find_node o t k <> 0
+
+let insert_fresh (o : Ops.t) bucket k v =
+  let node = o.alloc node_words in
+  o.st (node + f_key) k;
+  o.st (node + f_value) v;
+  o.st (node + f_next) (o.ld bucket);
+  o.st bucket node
+
+let put (o : Ops.t) t k v =
+  let n = find_node o t k in
+  if n <> 0 then o.st (n + f_value) v else insert_fresh o (bucket_of o t k) k v
+
+let put_if_absent (o : Ops.t) t k v =
+  if find_node o t k <> 0 then false
+  else begin
+    insert_fresh o (bucket_of o t k) k v;
+    true
+  end
+
+let remove (o : Ops.t) t k =
+  let bucket = bucket_of o t k in
+  let rec go prev n =
+    if n = 0 then false
+    else if o.ld (n + f_key) = k then begin
+      let next = o.ld (n + f_next) in
+      if prev = 0 then o.st bucket next else o.st (prev + f_next) next;
+      o.free n node_words;
+      true
+    end
+    else go n (o.ld (n + f_next))
+  in
+  go 0 (o.ld bucket)
+
+let iter (o : Ops.t) t f =
+  let n = o.ld t.meta in
+  let base = o.ld (t.meta + 1) in
+  for i = 0 to n - 1 do
+    let rec chain node =
+      if node <> 0 then begin
+        f (o.ld (node + f_key)) (o.ld (node + f_value));
+        chain (o.ld (node + f_next))
+      end
+    in
+    chain (o.ld (base + i))
+  done
+
+let size o t =
+  let count = ref 0 in
+  iter o t (fun _ _ -> incr count);
+  !count

@@ -1,0 +1,20 @@
+type t = { map : Thashmap.t }
+
+let create o ~buckets = { map = Thashmap.create o ~buckets }
+
+let handle_of_root meta = { map = Thashmap.handle_of_root meta }
+
+let meta t = Thashmap.meta t.map
+
+let contains o t k = Thashmap.mem o t.map k
+
+let add o t k = Thashmap.put_if_absent o t.map k 0
+
+let remove o t k = Thashmap.remove o t.map k
+
+let size o t = Thashmap.size o t.map
+
+let to_list o t =
+  let acc = ref [] in
+  Thashmap.iter o t.map (fun k _ -> acc := k :: !acc);
+  !acc

@@ -1,0 +1,21 @@
+(** Integer hash set: a thin wrapper over {!Thashmap} (value 0), the
+    IntegerSet hash-set variant. *)
+
+type t
+
+val create : Ops.t -> buckets:int -> t
+
+val handle_of_root : Asf_mem.Addr.t -> t
+
+val meta : t -> Asf_mem.Addr.t
+
+val contains : Ops.t -> t -> int -> bool
+
+val add : Ops.t -> t -> int -> bool
+
+val remove : Ops.t -> t -> int -> bool
+
+val size : Ops.t -> t -> int
+
+val to_list : Ops.t -> t -> int list
+(** Unordered (validation). *)

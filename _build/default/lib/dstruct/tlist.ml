@@ -1,0 +1,76 @@
+(* Node layout (one padded line): [0] key, [1] next. The list starts with
+   a head sentinel of key min_int; 0 is the null pointer. *)
+
+type t = { head : Asf_mem.Addr.t }
+
+let node_words = 2
+
+let key_of = 0
+
+let next_of = 1
+
+let create (o : Ops.t) =
+  let head = o.alloc node_words in
+  o.st (head + key_of) min_int;
+  o.st (head + next_of) 0;
+  { head }
+
+let handle_of_root head = { head }
+
+let root t = t.head
+
+(* Returns (prev, cur) with cur the first node of key >= k (cur may be 0).
+   With early release, all traversed nodes except the hand-over-hand
+   window (prev, cur) are dropped from the read set. *)
+let locate (o : Ops.t) t k =
+  let rec go prev cur =
+    if cur = 0 then (prev, cur)
+    else begin
+      let key = o.ld (cur + key_of) in
+      if key >= k then (prev, cur)
+      else begin
+        let next = o.ld (cur + next_of) in
+        o.release prev;
+        go cur next
+      end
+    end
+  in
+  go t.head (o.ld (t.head + next_of))
+
+let contains (o : Ops.t) t k =
+  let _, cur = locate o t k in
+  cur <> 0 && o.ld (cur + key_of) = k
+
+let add (o : Ops.t) t k =
+  let prev, cur = locate o t k in
+  if cur <> 0 && o.ld (cur + key_of) = k then false
+  else begin
+    let node = o.alloc node_words in
+    o.st (node + key_of) k;
+    o.st (node + next_of) cur;
+    o.st (prev + next_of) node;
+    true
+  end
+
+let remove (o : Ops.t) t k =
+  let prev, cur = locate o t k in
+  if cur = 0 || o.ld (cur + key_of) <> k then false
+  else begin
+    (* Mark the removed node before unlinking. Under early release a
+       concurrent hand-over-hand traverser may hold only [cur] of the pair
+       being relinked; the mark puts [cur] in this transaction's write set
+       so that traverser is doomed instead of linking onto a dead node. *)
+    o.st (cur + key_of) max_int;
+    o.st (prev + next_of) (o.ld (cur + next_of));
+    o.free cur node_words;
+    true
+  end
+
+let to_list (o : Ops.t) t =
+  let rec go cur acc =
+    if cur = 0 then List.rev acc
+    else go (o.ld (cur + next_of)) (o.ld (cur + key_of) :: acc)
+  in
+  go (o.ld (t.head + next_of)) []
+
+let size o t = List.length (to_list o t)

@@ -1,0 +1,35 @@
+(** Sorted singly-linked integer list (the IntegerSet linked-list variant).
+
+    Each node occupies one cache line (padding against false sharing, as
+    the paper applies to data-structure entry points), so a traversal of
+    [k] nodes protects [k] lines — the workload that makes LLB-8 fall back
+    to serial mode (Fig. 5/7) unless early release is used (Fig. 8).
+
+    When built with early-release operations ({!Ops.tx_er}), traversals
+    keep only a hand-over-hand window of two nodes in the read set, the
+    technique of the paper's Fig. 8. *)
+
+type t
+(** Handle (host-side record of simulated-memory addresses). *)
+
+val create : Ops.t -> t
+(** Allocates the head sentinel. *)
+
+val handle_of_root : Asf_mem.Addr.t -> t
+(** Re-create a handle from {!root} (to share a structure across threads). *)
+
+val root : t -> Asf_mem.Addr.t
+
+val contains : Ops.t -> t -> int -> bool
+
+val add : Ops.t -> t -> int -> bool
+(** [false] if the key was already present. *)
+
+val remove : Ops.t -> t -> int -> bool
+(** [false] if the key was absent. *)
+
+val size : Ops.t -> t -> int
+(** O(n) walk (used in setup/validation). *)
+
+val to_list : Ops.t -> t -> int list
+(** Keys in ascending order (setup/validation). *)

@@ -1,0 +1,52 @@
+(* Metadata spans two lines: word 0 = head pointer (line 1), word 8 = tail
+   pointer (line 2). Node (one padded line): [0] value, [1] next. *)
+
+type t = { meta : Asf_mem.Addr.t }
+
+let head_of = 0
+
+let tail_of = 8
+
+let node_words = 2
+
+let create (o : Ops.t) =
+  let meta = o.alloc 16 in
+  o.st (meta + head_of) 0;
+  o.st (meta + tail_of) 0;
+  { meta }
+
+let handle_of_root meta = { meta }
+
+let meta t = t.meta
+
+let enqueue (o : Ops.t) t v =
+  let node = o.alloc node_words in
+  o.st node v;
+  o.st (node + 1) 0;
+  let tail = o.ld (t.meta + tail_of) in
+  if tail = 0 then begin
+    o.st (t.meta + head_of) node;
+    o.st (t.meta + tail_of) node
+  end
+  else begin
+    o.st (tail + 1) node;
+    o.st (t.meta + tail_of) node
+  end
+
+let dequeue (o : Ops.t) t =
+  let head = o.ld (t.meta + head_of) in
+  if head = 0 then None
+  else begin
+    let v = o.ld head in
+    let next = o.ld (head + 1) in
+    o.st (t.meta + head_of) next;
+    if next = 0 then o.st (t.meta + tail_of) 0;
+    o.free head node_words;
+    Some v
+  end
+
+let is_empty (o : Ops.t) t = o.ld (t.meta + head_of) = 0
+
+let length (o : Ops.t) t =
+  let rec go n acc = if n = 0 then acc else go (o.ld (n + 1)) (acc + 1) in
+  go (o.ld (t.meta + head_of)) 0

@@ -1,0 +1,21 @@
+(** Transactional FIFO queue of integer payloads (work distribution in the
+    intruder and labyrinth benchmarks). Head and tail pointers live on
+    separate cache lines so enqueuers and dequeuers conflict only when the
+    queue is near-empty. *)
+
+type t
+
+val create : Ops.t -> t
+
+val handle_of_root : Asf_mem.Addr.t -> t
+
+val meta : t -> Asf_mem.Addr.t
+
+val enqueue : Ops.t -> t -> int -> unit
+
+val dequeue : Ops.t -> t -> int option
+
+val is_empty : Ops.t -> t -> bool
+
+val length : Ops.t -> t -> int
+(** O(n) walk (validation). *)

@@ -1,0 +1,325 @@
+(* CLRS red-black tree with an explicit nil sentinel node (the sentinel's
+   parent field is genuinely written during deletion, which is why it must
+   be a real node in simulated memory).
+
+   Node layout (one padded line):
+   [0] key, [1] value, [2] left, [3] right, [4] parent, [5] color.
+   Handle metadata: [0] root pointer, [1] nil address. *)
+
+type t = { meta : Asf_mem.Addr.t }
+
+let f_key = 0
+
+let f_value = 1
+
+let f_left = 2
+
+let f_right = 3
+
+let f_parent = 4
+
+let f_color = 5
+
+let node_words = 6
+
+let black = 0
+
+let red = 1
+
+let m_root = 0
+
+let m_nil = 1
+
+let create (o : Ops.t) =
+  let nil = o.alloc node_words in
+  o.st (nil + f_color) black;
+  o.st (nil + f_left) nil;
+  o.st (nil + f_right) nil;
+  o.st (nil + f_parent) nil;
+  let meta = o.alloc 2 in
+  o.st (meta + m_root) nil;
+  o.st (meta + m_nil) nil;
+  { meta }
+
+let handle_of_root meta = { meta }
+
+let meta t = t.meta
+
+let nil (o : Ops.t) t = o.ld (t.meta + m_nil)
+
+let root (o : Ops.t) t = o.ld (t.meta + m_root)
+
+let set_root (o : Ops.t) t n = o.st (t.meta + m_root) n
+
+let key (o : Ops.t) n = o.ld (n + f_key)
+
+let left (o : Ops.t) n = o.ld (n + f_left)
+
+let right (o : Ops.t) n = o.ld (n + f_right)
+
+let parent (o : Ops.t) n = o.ld (n + f_parent)
+
+let color (o : Ops.t) n = o.ld (n + f_color)
+
+let search (o : Ops.t) t k =
+  let nil = nil o t in
+  let rec go n =
+    if n = nil then nil
+    else
+      let nk = key o n in
+      if k = nk then n else if k < nk then go (left o n) else go (right o n)
+  in
+  go (root o t)
+
+let find (o : Ops.t) t k =
+  let n = search o t k in
+  if n = nil o t then None else Some (o.ld (n + f_value))
+
+let mem (o : Ops.t) t k = search o t k <> nil o t
+
+let left_rotate (o : Ops.t) t x =
+  let nil = nil o t in
+  let y = right o x in
+  o.st (x + f_right) (left o y);
+  if left o y <> nil then o.st (left o y + f_parent) x;
+  o.st (y + f_parent) (parent o x);
+  if parent o x = nil then set_root o t y
+  else if x = left o (parent o x) then o.st (parent o x + f_left) y
+  else o.st (parent o x + f_right) y;
+  o.st (y + f_left) x;
+  o.st (x + f_parent) y
+
+let right_rotate (o : Ops.t) t x =
+  let nil = nil o t in
+  let y = left o x in
+  o.st (x + f_left) (right o y);
+  if right o y <> nil then o.st (right o y + f_parent) x;
+  o.st (y + f_parent) (parent o x);
+  if parent o x = nil then set_root o t y
+  else if x = right o (parent o x) then o.st (parent o x + f_right) y
+  else o.st (parent o x + f_left) y;
+  o.st (y + f_right) x;
+  o.st (x + f_parent) y
+
+let rec insert_fixup (o : Ops.t) t z =
+  if color o (parent o z) = red then begin
+    let p = parent o z in
+    let g = parent o p in
+    if p = left o g then begin
+      let u = right o g in
+      if color o u = red then begin
+        o.st (p + f_color) black;
+        o.st (u + f_color) black;
+        o.st (g + f_color) red;
+        insert_fixup o t g
+      end
+      else begin
+        let z = if z = right o p then (left_rotate o t p; p) else z in
+        let p = parent o z in
+        let g = parent o p in
+        o.st (p + f_color) black;
+        o.st (g + f_color) red;
+        right_rotate o t g;
+        insert_fixup o t z
+      end
+    end
+    else begin
+      let u = left o g in
+      if color o u = red then begin
+        o.st (p + f_color) black;
+        o.st (u + f_color) black;
+        o.st (g + f_color) red;
+        insert_fixup o t g
+      end
+      else begin
+        let z = if z = left o p then (right_rotate o t p; p) else z in
+        let p = parent o z in
+        let g = parent o p in
+        o.st (p + f_color) black;
+        o.st (g + f_color) red;
+        left_rotate o t g;
+        insert_fixup o t z
+      end
+    end
+  end
+
+let insert_node (o : Ops.t) t k v ~upsert =
+  let nil = nil o t in
+  let rec descend x y =
+    if x = nil then `Attach y
+    else
+      let xk = key o x in
+      if k = xk then `Present x
+      else if k < xk then descend (left o x) x
+      else descend (right o x) x
+  in
+  match descend (root o t) nil with
+  | `Present n ->
+      if upsert then o.st (n + f_value) v;
+      false
+  | `Attach y ->
+      let z = o.alloc node_words in
+      o.st (z + f_key) k;
+      o.st (z + f_value) v;
+      o.st (z + f_left) nil;
+      o.st (z + f_right) nil;
+      o.st (z + f_parent) y;
+      o.st (z + f_color) red;
+      if y = nil then set_root o t z
+      else if k < key o y then o.st (y + f_left) z
+      else o.st (y + f_right) z;
+      insert_fixup o t z;
+      o.st (root o t + f_color) black;
+      true
+
+let insert o t k v = insert_node o t k v ~upsert:false
+
+let update o t k v = ignore (insert_node o t k v ~upsert:true)
+
+let rec minimum (o : Ops.t) ~nil n =
+  if left o n = nil then n else minimum o ~nil (left o n)
+
+let transplant (o : Ops.t) t u v =
+  let nil = nil o t in
+  if parent o u = nil then set_root o t v
+  else if u = left o (parent o u) then o.st (parent o u + f_left) v
+  else o.st (parent o u + f_right) v;
+  o.st (v + f_parent) (parent o u)
+
+let rec delete_fixup (o : Ops.t) t x =
+  if x <> root o t && color o x = black then begin
+    let p = parent o x in
+    if x = left o p then begin
+      let w = ref (right o p) in
+      if color o !w = red then begin
+        o.st (!w + f_color) black;
+        o.st (p + f_color) red;
+        left_rotate o t p;
+        w := right o p
+      end;
+      if color o (left o !w) = black && color o (right o !w) = black then begin
+        o.st (!w + f_color) red;
+        delete_fixup o t p
+      end
+      else begin
+        if color o (right o !w) = black then begin
+          o.st (left o !w + f_color) black;
+          o.st (!w + f_color) red;
+          right_rotate o t !w;
+          w := right o p
+        end;
+        o.st (!w + f_color) (color o p);
+        o.st (p + f_color) black;
+        o.st (right o !w + f_color) black;
+        left_rotate o t p;
+        o.st (root o t + f_color) black
+      end
+    end
+    else begin
+      let w = ref (left o p) in
+      if color o !w = red then begin
+        o.st (!w + f_color) black;
+        o.st (p + f_color) red;
+        right_rotate o t p;
+        w := left o p
+      end;
+      if color o (right o !w) = black && color o (left o !w) = black then begin
+        o.st (!w + f_color) red;
+        delete_fixup o t p
+      end
+      else begin
+        if color o (left o !w) = black then begin
+          o.st (right o !w + f_color) black;
+          o.st (!w + f_color) red;
+          left_rotate o t !w;
+          w := left o p
+        end;
+        o.st (!w + f_color) (color o p);
+        o.st (p + f_color) black;
+        o.st (left o !w + f_color) black;
+        right_rotate o t p;
+        o.st (root o t + f_color) black
+      end
+    end
+  end
+  else o.st (x + f_color) black
+
+let remove (o : Ops.t) t k =
+  let nil = nil o t in
+  let z = search o t k in
+  if z = nil then false
+  else begin
+    let y_color = ref (color o z) in
+    let x =
+      if left o z = nil then begin
+        let x = right o z in
+        transplant o t z x;
+        x
+      end
+      else if right o z = nil then begin
+        let x = left o z in
+        transplant o t z x;
+        x
+      end
+      else begin
+        let y = minimum o ~nil (right o z) in
+        y_color := color o y;
+        let x = right o y in
+        if parent o y = z then o.st (x + f_parent) y
+        else begin
+          transplant o t y x;
+          o.st (y + f_right) (right o z);
+          o.st (right o y + f_parent) y
+        end;
+        transplant o t z y;
+        o.st (y + f_left) (left o z);
+        o.st (left o y + f_parent) y;
+        o.st (y + f_color) (color o z);
+        x
+      end
+    in
+    if !y_color = black then delete_fixup o t x;
+    o.free z node_words;
+    true
+  end
+
+let fold (o : Ops.t) t f acc =
+  let nil = nil o t in
+  let rec go n acc =
+    if n = nil then acc
+    else
+      let acc = go (left o n) acc in
+      let acc = f (key o n) (o.ld (n + f_value)) acc in
+      go (right o n) acc
+  in
+  go (root o t) acc
+
+let to_list o t = List.rev (fold o t (fun k v acc -> (k, v) :: acc) [])
+
+let size o t = fold o t (fun _ _ n -> n + 1) 0
+
+let check_invariants (o : Ops.t) t =
+  let nil = nil o t in
+  let exception Violation of string in
+  let rec go n lo hi =
+    if n = nil then 1 (* black height contribution of leaves *)
+    else begin
+      let k = key o n in
+      (match lo with Some l when k <= l -> raise (Violation "BST order (low)") | _ -> ());
+      (match hi with Some h when k >= h -> raise (Violation "BST order (high)") | _ -> ());
+      let c = color o n in
+      if c = red && (color o (left o n) = red || color o (right o n) = red) then
+        raise (Violation "red node with red child");
+      let bl = go (left o n) lo (Some k) in
+      let br = go (right o n) (Some k) hi in
+      if bl <> br then raise (Violation "black height mismatch");
+      bl + if c = black then 1 else 0
+    end
+  in
+  match
+    if root o t <> nil && color o (root o t) = red then
+      raise (Violation "red root");
+    go (root o t) None None
+  with
+  | _ -> Ok ()
+  | exception Violation msg -> Error msg

@@ -1,0 +1,38 @@
+(** Red-black tree mapping integer keys to integer values (the IntegerSet
+    red-black-tree variant and the table type of the vacation benchmark).
+
+    CLRS-style with an explicit nil sentinel node. Each node is one padded
+    cache line, so an operation's read set is the root-to-leaf path
+    (~2·log2 n lines) plus rebalancing writes — the structure with the
+    highest ASF-vs-STM load/store speed-up in Table 1. *)
+
+type t
+
+val create : Ops.t -> t
+
+val handle_of_root : Asf_mem.Addr.t -> t
+(** From {!meta}. *)
+
+val meta : t -> Asf_mem.Addr.t
+
+val find : Ops.t -> t -> int -> int option
+
+val mem : Ops.t -> t -> int -> bool
+
+val insert : Ops.t -> t -> int -> int -> bool
+(** [insert o t k v] returns [false] (leaving the value untouched) if [k]
+    is present — set semantics, matching STAMP's [rbtree_insert]. *)
+
+val update : Ops.t -> t -> int -> int -> unit
+(** Upsert. *)
+
+val remove : Ops.t -> t -> int -> bool
+
+val size : Ops.t -> t -> int
+
+val to_list : Ops.t -> t -> (int * int) list
+(** In ascending key order (validation). *)
+
+val check_invariants : Ops.t -> t -> (unit, string) result
+(** Validates BST order, red-red freedom, and black-height balance
+    (test support). *)

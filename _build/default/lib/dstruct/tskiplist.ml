@@ -1,0 +1,100 @@
+(* Node layout: [0] key, [1] level, [2..2+level-1] next pointers.
+   The head sentinel has max_level pointers and key min_int; 0 is null.
+   The handle stores max_level in the head's level field, so a handle can
+   be reconstructed from the head address alone. *)
+
+type t = { head : Asf_mem.Addr.t }
+
+let key_of = 0
+
+let level_of = 1
+
+let next_of l = 2 + l
+
+let default_max_level = 16
+
+let create (o : Ops.t) ?(max_level = default_max_level) () =
+  let head = o.alloc (2 + max_level) in
+  o.st (head + key_of) min_int;
+  o.st (head + level_of) max_level;
+  for l = 0 to max_level - 1 do
+    o.st (head + next_of l) 0
+  done;
+  { head }
+
+let handle_of_root head = { head }
+
+let root t = t.head
+
+let max_level (o : Ops.t) t = o.ld (t.head + level_of)
+
+(* Geometric level in [1, max]: flip bits until a zero. *)
+let random_level (o : Ops.t) ~max =
+  let bits = o.rand_bits () in
+  let rec go l bits =
+    if l >= max || bits land 1 = 0 then l else go (l + 1) (bits lsr 1)
+  in
+  go 1 bits
+
+(* Fill [preds] so that preds.(l) is the rightmost node at level l with
+   key < k; returns the candidate node at level 0 (possibly null). *)
+let locate (o : Ops.t) t k preds =
+  let levels = max_level o t in
+  let rec descend node l =
+    if l < 0 then node
+    else begin
+      let rec walk node =
+        let next = o.ld (node + next_of l) in
+        if next <> 0 && o.ld (next + key_of) < k then walk next else node
+      in
+      let node = walk node in
+      preds.(l) <- node;
+      descend node (l - 1)
+    end
+  in
+  let pred = descend t.head (levels - 1) in
+  o.ld (pred + next_of 0)
+
+let contains (o : Ops.t) t k =
+  let preds = Array.make (max_level o t) 0 in
+  let cand = locate o t k preds in
+  cand <> 0 && o.ld (cand + key_of) = k
+
+let add (o : Ops.t) t k =
+  let levels = max_level o t in
+  let preds = Array.make levels 0 in
+  let cand = locate o t k preds in
+  if cand <> 0 && o.ld (cand + key_of) = k then false
+  else begin
+    let node_level = random_level o ~max:levels in
+    let node = o.alloc (2 + node_level) in
+    o.st (node + key_of) k;
+    o.st (node + level_of) node_level;
+    for l = 0 to node_level - 1 do
+      o.st (node + next_of l) (o.ld (preds.(l) + next_of l));
+      o.st (preds.(l) + next_of l) node
+    done;
+    true
+  end
+
+let remove (o : Ops.t) t k =
+  let levels = max_level o t in
+  let preds = Array.make levels 0 in
+  let cand = locate o t k preds in
+  if cand = 0 || o.ld (cand + key_of) <> k then false
+  else begin
+    let node_level = o.ld (cand + level_of) in
+    for l = 0 to node_level - 1 do
+      if o.ld (preds.(l) + next_of l) = cand then
+        o.st (preds.(l) + next_of l) (o.ld (cand + next_of l))
+    done;
+    o.free cand (2 + node_level);
+    true
+  end
+
+let to_list (o : Ops.t) t =
+  let rec go node acc =
+    if node = 0 then List.rev acc
+    else go (o.ld (node + next_of 0)) (o.ld (node + key_of) :: acc)
+  in
+  go (o.ld (t.head + next_of 0)) []

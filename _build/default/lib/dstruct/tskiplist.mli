@@ -1,0 +1,24 @@
+(** Skip list over integer keys (IntegerSet skip-list variant).
+
+    Geometric level distribution (p = 1/2) drawn from the operation
+    context's deterministic PRNG. Each node occupies one or two cache
+    lines, so transactions read O(log n) lines — comfortably inside
+    LLB-256 but beyond LLB-8 for the paper's ranges. *)
+
+type t
+
+val create : Ops.t -> ?max_level:int -> unit -> t
+(** [max_level] defaults to 16. *)
+
+val handle_of_root : Asf_mem.Addr.t -> t
+
+val root : t -> Asf_mem.Addr.t
+
+val contains : Ops.t -> t -> int -> bool
+
+val add : Ops.t -> t -> int -> bool
+
+val remove : Ops.t -> t -> int -> bool
+
+val to_list : Ops.t -> t -> int list
+(** Ascending keys (validation). *)

@@ -1,0 +1,86 @@
+type task =
+  | Start of int * (unit -> unit)
+  | Resume of int * (unit, unit) Effect.Deep.continuation
+
+type t = {
+  n_cores : int;
+  core_time : int array;
+  heap : task Pqueue.t;
+  mutable seq : int;
+  mutable live : int;
+  mutable current : int;
+  mutable events : int;
+}
+
+type _ Effect.t += Elapse : int -> unit Effect.t
+
+let create ~n_cores =
+  if n_cores <= 0 then invalid_arg "Engine.create: n_cores must be positive";
+  {
+    n_cores;
+    core_time = Array.make n_cores 0;
+    heap = Pqueue.create ();
+    seq = 0;
+    live = 0;
+    current = 0;
+    events = 0;
+  }
+
+let n_cores t = t.n_cores
+
+let enqueue t ~time task =
+  t.seq <- t.seq + 1;
+  Pqueue.push t.heap ~time ~seq:t.seq task
+
+let spawn t ~core f =
+  if core < 0 || core >= t.n_cores then invalid_arg "Engine.spawn: bad core";
+  t.live <- t.live + 1;
+  enqueue t ~time:t.core_time.(core) (Start (core, f))
+
+let elapse n = Effect.perform (Elapse n)
+
+(* Runs thread [f] under the scheduling handler. The handler suspends the
+   thread at each [Elapse] and re-enqueues its continuation at the advanced
+   core-local time; control then returns to the [run] loop. *)
+let exec t core f =
+  Effect.Deep.match_with f ()
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Elapse n ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) ->
+                  if n < 0 then invalid_arg "Engine.elapse: negative duration";
+                  t.core_time.(core) <- t.core_time.(core) + n;
+                  enqueue t ~time:t.core_time.(core) (Resume (core, k)))
+          | _ -> None);
+    }
+
+let run t =
+  while not (Pqueue.is_empty t.heap) do
+    let time, _seq, task = Pqueue.pop t.heap in
+    t.events <- t.events + 1;
+    match task with
+    | Start (core, f) ->
+        t.current <- core;
+        if time > t.core_time.(core) then t.core_time.(core) <- time;
+        exec t core f
+    | Resume (core, k) ->
+        t.current <- core;
+        Effect.Deep.continue k ()
+  done
+
+let core_time t core = t.core_time.(core)
+
+let current_core t = t.current
+
+let now t = t.core_time.(t.current)
+
+let max_time t = Array.fold_left max 0 t.core_time
+
+let events t = t.events
+
+let live_threads t = t.live

@@ -1,0 +1,54 @@
+(** Deterministic discrete-event multicore execution engine.
+
+    Each simulated hardware thread is an OCaml-5 effect-handled computation
+    pinned to a core. A thread runs uninterrupted until it performs
+    {!elapse}, which advances its core-local cycle clock and yields to the
+    scheduler; the scheduler always resumes the runnable thread with the
+    smallest (time, sequence-number) key, so interleavings are fully
+    deterministic and everything that happens between two [elapse] calls is
+    atomic with respect to other threads (the model's analogue of a single
+    instruction retiring).
+
+    Timing model: an operation takes effect at the moment the thread executes
+    it and its latency is charged afterwards with [elapse]. This is the
+    first-order, in-order approximation of PTLsim's out-of-order core
+    documented in DESIGN.md. *)
+
+type t
+
+val create : n_cores:int -> t
+(** A fresh engine with [n_cores] cores, all clocks at cycle 0. *)
+
+val n_cores : t -> int
+
+val spawn : t -> core:int -> (unit -> unit) -> unit
+(** [spawn t ~core f] schedules thread [f] on [core], starting at the core's
+    current local time. Several threads may share a core; they interleave at
+    [elapse] points. *)
+
+val run : t -> unit
+(** Runs until every spawned thread has terminated. Exceptions escaping a
+    thread propagate out of [run]. *)
+
+val elapse : int -> unit
+(** Advance the calling thread's core clock by [n >= 0] cycles and yield.
+    Must be called from within a thread spawned on some engine; calling it
+    outside raises [Effect.Unhandled]. *)
+
+val core_time : t -> int -> int
+(** Current cycle count of a core's local clock. *)
+
+val current_core : t -> int
+(** Core of the thread currently executing (meaningful inside [run]). *)
+
+val now : t -> int
+(** Local time of the currently executing core. *)
+
+val max_time : t -> int
+(** Maximum over all core clocks; after {!run} this is the makespan of the
+    simulated execution. *)
+
+val events : t -> int
+(** Number of scheduling events processed so far (for diagnostics). *)
+
+val live_threads : t -> int

@@ -1,0 +1,69 @@
+type 'a entry = { time : int; seq : int; v : 'a }
+
+type 'a t = { mutable a : 'a entry array; mutable len : int }
+
+let create () = { a = [||]; len = 0 }
+
+let is_empty q = q.len = 0
+
+let length q = q.len
+
+let less e1 e2 = e1.time < e2.time || (e1.time = e2.time && e1.seq < e2.seq)
+
+let grow q e =
+  let cap = Array.length q.a in
+  if q.len = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let na = Array.make ncap e in
+    Array.blit q.a 0 na 0 q.len;
+    q.a <- na
+  end
+
+let push q ~time ~seq v =
+  let e = { time; seq; v } in
+  grow q e;
+  q.a.(q.len) <- e;
+  q.len <- q.len + 1;
+  (* Sift up. *)
+  let i = ref (q.len - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    less q.a.(!i) q.a.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = q.a.(p) in
+    q.a.(p) <- q.a.(!i);
+    q.a.(!i) <- tmp;
+    i := p
+  done
+
+let pop q =
+  if q.len = 0 then invalid_arg "Pqueue.pop: empty";
+  let top = q.a.(0) in
+  q.len <- q.len - 1;
+  if q.len > 0 then begin
+    q.a.(0) <- q.a.(q.len);
+    (* Sift down. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < q.len && less q.a.(l) q.a.(!smallest) then smallest := l;
+      if r < q.len && less q.a.(r) q.a.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = q.a.(!smallest) in
+        q.a.(!smallest) <- q.a.(!i);
+        q.a.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end;
+  (top.time, top.seq, top.v)
+
+let peek_time q = if q.len = 0 then None else Some q.a.(0).time
+
+let clear q = q.len <- 0

@@ -1,0 +1,25 @@
+(** Binary min-heap priority queue used by the event scheduler.
+
+    Elements carry two integer keys compared lexicographically: the primary
+    key is the event time in cycles, the secondary key a monotonically
+    increasing sequence number that makes the schedule deterministic (FIFO
+    among simultaneous events). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
+
+val pop : 'a t -> int * int * 'a
+(** Removes and returns the minimum element as [(time, seq, v)].
+    @raise Invalid_argument if the queue is empty. *)
+
+val peek_time : 'a t -> int option
+(** Time of the minimum element, if any. *)
+
+val clear : 'a t -> unit

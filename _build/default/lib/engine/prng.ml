@@ -1,0 +1,39 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g = { state = next64 g }
+
+let copy g = { state = g.state }
+
+(* Take the top bits (better distributed than the low bits) and reduce
+   modulo [n]. The modulo bias is negligible for the [n] used here. *)
+let int g n =
+  assert (n > 0);
+  let v = Int64.to_int (Int64.shift_right_logical (next64 g) 2) in
+  v mod n
+
+let bool g = Int64.logand (next64 g) 1L = 1L
+
+let float g x =
+  let v = Int64.to_float (Int64.shift_right_logical (next64 g) 11) in
+  x *. v /. 9007199254740992.0 (* 2^53 *)
+
+let chance g p = int g 100 < p
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,1 @@
+lib/harness/calibration.ml: Asf_machine Asf_stamp Asf_tm_rt List

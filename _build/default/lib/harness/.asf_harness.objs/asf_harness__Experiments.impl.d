@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Asf_core Asf_intset Asf_machine Asf_stamp Asf_stm Asf_tm_rt Calibration Hashtbl List Printf Report

@@ -1,0 +1,1 @@
+lib/harness/profile.ml: Asf_cache Asf_engine Asf_tm_rt Format List Printf

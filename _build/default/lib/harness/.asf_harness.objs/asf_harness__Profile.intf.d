@@ -1,0 +1,1 @@
+lib/harness/profile.mli: Asf_tm_rt Format

@@ -1,0 +1,31 @@
+module Params = Asf_machine.Params
+module Tm = Asf_tm_rt.Tm
+module Stamp = Asf_stamp.Stamp
+module C = Asf_stamp.Stamp_common
+
+type entry = {
+  app : string;
+  detailed_cycles : int;
+  reference_cycles : int;
+  deviation_pct : float;
+}
+
+let run_with params app ~scale ~seed =
+  let cfg = { (Tm.default_config Tm.Seq_mode ~n_cores:1) with Tm.params; seed } in
+  (Stamp.run_scaled app ~scale cfg ~threads:1).C.cycles
+
+let measure ~quick ~seed =
+  let scale = if quick then 0.25 else 1.0 in
+  List.map
+    (fun app ->
+      let detailed = run_with Params.barcelona app ~scale ~seed in
+      let reference = run_with Params.native_reference app ~scale ~seed in
+      {
+        app = Stamp.name app;
+        detailed_cycles = detailed;
+        reference_cycles = reference;
+        deviation_pct =
+          100.0 *. (float_of_int detailed -. float_of_int reference)
+          /. float_of_int reference;
+      })
+    Stamp.all

@@ -1,0 +1,21 @@
+(** Simulator-accuracy methodology (the paper's Fig. 3).
+
+    The paper validates PTLsim-ASF by running the STAMP applications
+    single-threaded without TM both natively and simulated, reporting the
+    percentage deviation. No x86 silicon exists in this environment, so —
+    per the substitution table in DESIGN.md — the "native" side is the
+    {!Asf_machine.Params.native_reference} analytical profile: the same
+    binaries (OCaml workloads), the same execution path, different
+    machine model. What is reproduced is the methodology and the
+    deviation metric, not AMD's silicon. *)
+
+type entry = {
+  app : string;
+  detailed_cycles : int;  (** Barcelona profile (the simulator under test) *)
+  reference_cycles : int;  (** native-reference profile *)
+  deviation_pct : float;
+}
+
+val measure : quick:bool -> seed:int -> entry list
+(** One entry per STAMP application, single thread, no TM
+    (sequential mode). *)

@@ -1,0 +1,726 @@
+module Params = Asf_machine.Params
+module Abort = Asf_core.Abort
+module Variant = Asf_core.Variant
+module Stats = Asf_tm_rt.Stats
+module Tm = Asf_tm_rt.Tm
+module Intset = Asf_intset.Intset
+module Stamp = Asf_stamp.Stamp
+module C = Asf_stamp.Stamp_common
+
+type t = {
+  id : string;
+  description : string;
+  run : quick:bool -> seed:int -> Report.t list;
+}
+
+let threads_all = [ 1; 2; 4; 8 ]
+
+let cfg mode ~threads ~seed = { (Tm.default_config mode ~n_cores:threads) with Tm.seed }
+
+let ms cycles = Params.cycles_to_ms Params.barcelona cycles
+
+type mode_spec = { mname : string; mode : Tm.mode }
+
+let asf_modes =
+  List.map (fun v -> { mname = v.Variant.name; mode = Tm.Asf_mode v }) Variant.all
+
+let stm_mode = { mname = "TinySTM"; mode = Tm.Stm_mode }
+
+(* ------------------------------------------------------------------ *)
+(* Memoised runs (Fig. 4 and Fig. 6 share one sweep)                    *)
+(* ------------------------------------------------------------------ *)
+
+let stamp_cache : (string, C.result) Hashtbl.t = Hashtbl.create 128
+
+let stamp_run ~quick ~seed app spec ~threads =
+  let key =
+    Printf.sprintf "%s/%s/%d/%b/%d" (Stamp.name app) spec.mname threads quick seed
+  in
+  match Hashtbl.find_opt stamp_cache key with
+  | Some r -> r
+  | None ->
+      let scale = if quick then 0.25 else 1.0 in
+      let r = Stamp.run_scaled app ~scale (cfg spec.mode ~threads ~seed) ~threads in
+      Hashtbl.add stamp_cache key r;
+      r
+
+(* ------------------------------------------------------------------ *)
+(* fig3                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 ~quick ~seed =
+  let entries = Calibration.measure ~quick ~seed in
+  [
+    Report.make ~id:"fig3"
+      ~title:
+        "Simulator accuracy methodology: detailed (Barcelona) vs native-reference \
+         model, STAMP, 1 thread, no TM (% deviation)"
+      ~notes:
+        [
+          "Substitution: no x86 silicon available; the reference side is the \
+           analytical native-reference profile (see DESIGN.md).";
+          "The paper reports 10-15% deviation for 5 of 8 apps.";
+        ]
+      [ "app"; "detailed (cycles)"; "reference (cycles)"; "deviation" ]
+      (List.map
+         (fun e ->
+           [
+             e.Calibration.app;
+             string_of_int e.Calibration.detailed_cycles;
+             string_of_int e.Calibration.reference_cycles;
+             Report.pct e.Calibration.deviation_pct;
+           ])
+         entries);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* fig4                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 ~quick ~seed =
+  let scale = if quick then 0.25 else 1.0 in
+  let rows =
+    List.concat_map
+      (fun app ->
+        let tm_rows =
+          List.map
+            (fun spec ->
+              let times =
+                List.map
+                  (fun threads ->
+                    let r = stamp_run ~quick ~seed app spec ~threads in
+                    Report.f3 (ms r.C.cycles) ^ if C.ok r then "" else "!")
+                  threads_all
+              in
+              (Stamp.name app :: spec.mname :: times)
+              @ [])
+            (asf_modes @ [ stm_mode ])
+        in
+        let seq =
+          Stamp.run_scaled app ~scale (cfg Tm.Seq_mode ~threads:1 ~seed) ~threads:1
+        in
+        let seq_ms = Report.f3 (ms seq.C.cycles) in
+        tm_rows @ [ [ Stamp.name app; "Sequential"; seq_ms; seq_ms; seq_ms; seq_ms ] ])
+      Stamp.all
+  in
+  [
+    Report.make ~id:"fig4"
+      ~title:"STAMP execution time (simulated ms; lower is better)"
+      ~notes:
+        [
+          "Sequential is the uninstrumented single-thread baseline (the paper's \
+           horizontal bars).";
+          "A trailing '!' marks a failed application self-check.";
+        ]
+      [ "app"; "config"; "1 thread"; "2 threads"; "4 threads"; "8 threads" ]
+      rows;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* fig5                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig5_panels =
+  [
+    (Intset.Linked_list, 28, 20);
+    (Intset.Linked_list, 512, 20);
+    (Intset.Skip_list, 1024, 20);
+    (Intset.Skip_list, 8192, 20);
+    (Intset.Rb_tree, 1024, 20);
+    (Intset.Rb_tree, 8192, 20);
+    (Intset.Hash_set, 256, 100);
+    (Intset.Hash_set, 128000, 100);
+  ]
+
+let intset_cfg ~quick structure ~range ~update_pct ~early_release =
+  {
+    (Intset.default_cfg structure) with
+    Intset.range;
+    update_pct;
+    early_release;
+    txns_per_thread = (if quick then 300 else 1500);
+  }
+
+let panel_name (s, range, upd) =
+  Printf.sprintf "%s r=%d %d%%upd" (Intset.structure_name s) range upd
+
+let fig5 ~quick ~seed =
+  let rows =
+    List.concat_map
+      (fun ((structure, range, upd) as panel) ->
+        List.map
+          (fun spec ->
+            let cells =
+              List.map
+                (fun threads ->
+                  let c = intset_cfg ~quick structure ~range ~update_pct:upd ~early_release:false in
+                  let r = Intset.run (cfg spec.mode ~threads ~seed) ~threads c in
+                  Report.f2 r.Intset.throughput_tx_per_us
+                  ^ (if r.Intset.size_ok then "" else "!"))
+                threads_all
+            in
+            panel_name panel :: spec.mname :: cells)
+          asf_modes)
+      fig5_panels
+  in
+  [
+    Report.make ~id:"fig5"
+      ~title:"IntegerSet scalability (throughput, tx/us; higher is better)"
+      ~notes:[ "Panels follow Fig. 5: key range and update percentage per panel." ]
+      [ "panel"; "variant"; "1 thread"; "2 threads"; "4 threads"; "8 threads" ]
+      rows;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* fig6                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's abort classes: contention (incl. explicit retries),
+   capacity, page fault, system call / interrupt, malloc. *)
+let abort_classes stats =
+  let a = Stats.aborts stats in
+  let attempts = float_of_int (max 1 (Stats.attempts stats)) in
+  let pct xs =
+    100.0 *. float_of_int (List.fold_left (fun acc i -> acc + a.(i)) 0 xs) /. attempts
+  in
+  [
+    pct [ Abort.index Abort.Contention; Abort.index (Abort.Explicit 0) ];
+    pct [ Abort.index Abort.Capacity; Abort.index Abort.Tlb_miss ];
+    pct [ Abort.index (Abort.Page_fault 0) ];
+    pct [ Abort.index Abort.Interrupt; Abort.index Abort.Syscall ];
+    pct [ Abort.index Abort.Malloc ];
+  ]
+
+let fig6 ~quick ~seed =
+  let rows =
+    List.concat_map
+      (fun app ->
+        List.concat_map
+          (fun spec ->
+            List.map
+              (fun threads ->
+                let r = stamp_run ~quick ~seed app spec ~threads in
+                let classes = abort_classes r.C.stats in
+                let total = List.fold_left ( +. ) 0.0 classes in
+                [ Stamp.name app; spec.mname; string_of_int threads; Report.pct total ]
+                @ List.map Report.pct classes)
+              threads_all)
+          asf_modes)
+      Stamp.all
+  in
+  [
+    Report.make ~id:"fig6"
+      ~title:"STAMP abort rates by cause (% of transaction attempts)"
+      [
+        "app"; "variant"; "threads"; "total"; "contention"; "capacity";
+        "page fault"; "intr/syscall"; "malloc";
+      ]
+      rows;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* fig7                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 ~quick ~seed =
+  let list_sizes =
+    if quick then [ 6; 30; 126; 510 ] else [ 6; 14; 30; 62; 126; 254; 510 ]
+  in
+  let tree_sizes =
+    if quick then [ 8; 64; 512; 4096 ]
+    else [ 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ]
+  in
+  let sweep structure sizes =
+    List.map
+      (fun size ->
+        let cells =
+          List.map
+            (fun spec ->
+              let c =
+                {
+                  (intset_cfg ~quick structure ~range:(2 * size) ~update_pct:20
+                     ~early_release:false)
+                  with
+                  Intset.init_size = Some size;
+                  txns_per_thread = (if quick then 150 else 600);
+                }
+              in
+              let r = Intset.run (cfg spec.mode ~threads:8 ~seed) ~threads:8 c in
+              Report.f2 r.Intset.throughput_tx_per_us)
+            asf_modes
+        in
+        (Intset.structure_name structure :: string_of_int size :: cells))
+      sizes
+  in
+  [
+    Report.make ~id:"fig7"
+      ~title:
+        "ASF capacity vs throughput (8 threads, 20% updates; tx/us by initial size)"
+      ([ "structure"; "initial size" ] @ List.map (fun s -> s.mname) asf_modes)
+      (sweep Intset.Linked_list list_sizes @ sweep Intset.Rb_tree tree_sizes);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* fig8                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 ~quick ~seed =
+  let sizes = if quick then [ 6; 30; 126; 510 ] else [ 6; 14; 30; 62; 126; 254; 510 ] in
+  let variants = [ Variant.llb8; Variant.llb256 ] in
+  let rows =
+    List.concat_map
+      (fun variant ->
+        List.map
+          (fun size ->
+            let run er =
+              let c =
+                {
+                  (intset_cfg ~quick Intset.Linked_list ~range:(2 * size)
+                     ~update_pct:20 ~early_release:er)
+                  with
+                  Intset.init_size = Some size;
+                  txns_per_thread = (if quick then 150 else 600);
+                }
+              in
+              Intset.run (cfg (Tm.Asf_mode variant) ~threads:8 ~seed) ~threads:8 c
+            in
+            let without = run false and with_er = run true in
+            [
+              variant.Variant.name;
+              string_of_int size;
+              Report.f2 without.Intset.throughput_tx_per_us;
+              Report.f2 with_er.Intset.throughput_tx_per_us;
+              Report.f2
+                (with_er.Intset.throughput_tx_per_us
+                /. max 0.001 without.Intset.throughput_tx_per_us);
+            ])
+          sizes)
+      variants
+  in
+  [
+    Report.make ~id:"fig8"
+      ~title:"Early-release impact on the linked list (8 threads, 20% updates)"
+      [ "variant"; "initial size"; "without ER (tx/us)"; "with ER (tx/us)"; "speedup" ]
+      rows;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* fig9 / tab1                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let tab1_structures =
+  [
+    (Intset.Linked_list, 20);
+    (Intset.Skip_list, 20);
+    (Intset.Rb_tree, 20);
+    (Intset.Hash_set, 100);
+  ]
+
+let breakdown_runs ~quick ~seed =
+  List.map
+    (fun (structure, upd) ->
+      let c =
+        {
+          (intset_cfg ~quick structure ~range:256 ~update_pct:upd ~early_release:false)
+          with
+          Intset.txns_per_thread = (if quick then 500 else 3000);
+        }
+      in
+      let asf =
+        Intset.run (cfg (Tm.Asf_mode Variant.llb256) ~threads:1 ~seed) ~threads:1 c
+      in
+      let stm = Intset.run (cfg Tm.Stm_mode ~threads:1 ~seed) ~threads:1 c in
+      (structure, asf, stm))
+    tab1_structures
+
+let tab1_categories =
+  [
+    ("Non-instr. code", Stats.cat_non_instr);
+    ("Instr. app code", Stats.cat_app);
+    ("Abort/restart", Stats.cat_abort_waste);
+    ("Tx load/store", Stats.cat_ld_st);
+    ("Tx start/commit", Stats.cat_start_commit);
+  ]
+
+let tab1 ~quick ~seed =
+  let rows =
+    List.concat_map
+      (fun (structure, asf, stm) ->
+        List.map
+          (fun (cat_name, cat) ->
+            let a = (Stats.cycles asf.Intset.stats).(cat) in
+            let s = (Stats.cycles stm.Intset.stats).(cat) in
+            [
+              Intset.structure_name structure;
+              cat_name;
+              string_of_int a;
+              string_of_int s;
+              (if a = 0 then (if s = 0 then "-" else "0.00")
+               else Report.f2 (float_of_int s /. float_of_int a));
+            ])
+          tab1_categories)
+      (breakdown_runs ~quick ~seed)
+  in
+  [
+    Report.make ~id:"tab1"
+      ~title:
+        "Single-thread cycle breakdown inside transactions: ASF-TM (LLB-256) vs \
+         TinySTM (Table 1; ratio = STM / ASF)"
+      [ "structure"; "category"; "ASF cycles"; "STM cycles"; "STM/ASF" ]
+      rows;
+  ]
+
+let fig9 ~quick ~seed =
+  let rows =
+    List.concat_map
+      (fun (structure, asf, stm) ->
+        let stm_total =
+          List.fold_left
+            (fun acc (_, cat) -> acc + (Stats.cycles stm.Intset.stats).(cat))
+            0 tab1_categories
+        in
+        let norm stats =
+          List.map
+            (fun (_, cat) ->
+              Report.f3
+                (float_of_int (Stats.cycles stats).(cat) /. float_of_int (max 1 stm_total)))
+            tab1_categories
+        in
+        [
+          (Intset.structure_name structure :: "ASF (LLB-256)" :: norm asf.Intset.stats);
+          (Intset.structure_name structure :: "TinySTM" :: norm stm.Intset.stats);
+        ])
+      (breakdown_runs ~quick ~seed)
+  in
+  [
+    Report.make ~id:"fig9"
+      ~title:
+        "Single-thread overhead breakdown, normalized to the STM total of each \
+         structure (Fig. 9)"
+      ([ "structure"; "system" ] @ List.map fst tab1_categories)
+      rows;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let abl_wins ~quick ~seed =
+  let run requester_wins =
+    let c =
+      {
+        (intset_cfg ~quick Intset.Rb_tree ~range:128 ~update_pct:50 ~early_release:false)
+        with
+        Intset.txns_per_thread = (if quick then 300 else 1500);
+      }
+    in
+    let tm = { (cfg (Tm.Asf_mode Variant.llb256) ~threads:8 ~seed) with Tm.requester_wins } in
+    Intset.run tm ~threads:8 c
+  in
+  let wins = run true and loses = run false in
+  let row name (r : Intset.result) =
+    [
+      name;
+      Report.f2 r.Intset.throughput_tx_per_us;
+      string_of_int (Stats.total_aborts r.Intset.stats);
+      string_of_int (Stats.serial_commits r.Intset.stats);
+    ]
+  in
+  [
+    Report.make ~id:"abl-wins"
+      ~title:
+        "Ablation: requester-wins vs requester-loses contention management \
+         (rb-tree, range 128, 50% updates, 8 threads)"
+      [ "policy"; "tx/us"; "aborts"; "serial commits" ]
+      [ row "requester-wins (ASF)" wins; row "requester-loses" loses ];
+  ]
+
+let abl_tlb ~quick ~seed =
+  let run abort_on_tlb_miss =
+    let c = intset_cfg ~quick Intset.Hash_set ~range:128000 ~update_pct:100 ~early_release:false in
+    let tm = { (cfg (Tm.Asf_mode Variant.llb256) ~threads:8 ~seed) with Tm.abort_on_tlb_miss } in
+    Intset.run tm ~threads:8 c
+  in
+  let asf_sem = run false and rock_sem = run true in
+  let row name (r : Intset.result) =
+    let a = Stats.aborts r.Intset.stats in
+    [
+      name;
+      Report.f2 r.Intset.throughput_tx_per_us;
+      string_of_int a.(Abort.index Abort.Tlb_miss);
+      string_of_int a.(Abort.index (Abort.Page_fault 0));
+      string_of_int (Stats.total_aborts r.Intset.stats);
+    ]
+  in
+  [
+    Report.make ~id:"abl-tlb"
+      ~title:
+        "Ablation: ASF semantics (TLB misses survive) vs Rock-style TLB-miss \
+         aborts (hash set, range 128000, 8 threads)"
+      [ "semantics"; "tx/us"; "tlb-miss aborts"; "page-fault aborts"; "total aborts" ]
+      [ row "ASF (no abort on TLB miss)" asf_sem; row "Rock-style" rock_sem ];
+  ]
+
+let abl_annot ~quick ~seed =
+  let module Labyrinth = Asf_stamp.Labyrinth in
+  let run privatized_snapshot =
+    let tm = cfg (Tm.Asf_mode Variant.llb256) ~threads:4 ~seed in
+    Labyrinth.run tm ~threads:4
+      {
+        Labyrinth.default with
+        Labyrinth.privatized_snapshot;
+        paths =
+          (if quick then Labyrinth.default.Labyrinth.paths / 4
+           else Labyrinth.default.Labyrinth.paths);
+      }
+  in
+  let compiler_default = run false and privatized = run true in
+  let row name (r : C.result) =
+    [
+      name;
+      Report.f3 (ms r.C.cycles);
+      string_of_int (Stats.serial_commits r.C.stats);
+      string_of_int (Stats.aborts r.C.stats).(Abort.index Abort.Capacity);
+      string_of_bool (C.ok r);
+    ]
+  in
+  [
+    Report.make ~id:"abl-annot"
+      ~title:
+        "Ablation: selective annotation on labyrinth's grid snapshot (4 threads, \
+         LLB-256). The compiler default instruments every shared read (the \
+         paper's labyrinth); a hand-privatised snapshot exploits ASF's plain \
+         accesses."
+      [ "snapshot"; "time (ms)"; "serial commits"; "capacity aborts"; "valid" ]
+      [
+        row "transactional (compiler default)" compiler_default;
+        row "privatised (selective annotation)" privatized;
+      ];
+  ]
+
+let abl_backoff ~quick ~seed =
+  let run backoff =
+    let tm = { (cfg (Tm.Asf_mode Variant.llb256) ~threads:8 ~seed) with Tm.backoff } in
+    Stamp.run_scaled Stamp.Intruder ~scale:(if quick then 0.25 else 1.0) tm ~threads:8
+  in
+  let on = run true and off = run false in
+  let row name (r : C.result) =
+    [
+      name;
+      Report.f3 (ms r.C.cycles);
+      string_of_int (Stats.total_aborts r.C.stats);
+      string_of_bool (C.ok r);
+    ]
+  in
+  [
+    Report.make ~id:"abl-backoff"
+      ~title:"Ablation: exponential back-off on/off (intruder, 8 threads)"
+      [ "back-off"; "time (ms)"; "aborts"; "valid" ]
+      [ row "exponential (ASF-TM)" on; row "none" off ];
+  ]
+
+let abl_cache ~quick ~seed =
+  (* The third implementation variant of Section 2.3 (pure cache-based),
+     which the paper describes but did not simulate, against the two it
+     did. *)
+  let variants = [ Variant.cache_based; Variant.llb256; Variant.llb256_l1; Variant.llb8 ] in
+  let panels =
+    [
+      (Intset.Linked_list, 512, 20);
+      (Intset.Rb_tree, 1024, 20);
+      (Intset.Hash_set, 4096, 100);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun ((structure, range, upd) as panel) ->
+        List.map
+          (fun v ->
+            let c = intset_cfg ~quick structure ~range ~update_pct:upd ~early_release:false in
+            let r = Intset.run (cfg (Tm.Asf_mode v) ~threads:8 ~seed) ~threads:8 c in
+            let a = Stats.aborts r.Intset.stats in
+            [
+              panel_name panel;
+              v.Variant.name;
+              Report.f2 r.Intset.throughput_tx_per_us;
+              string_of_int a.(Abort.index Abort.Capacity);
+              string_of_int (Stats.serial_commits r.Intset.stats);
+            ])
+          variants)
+      panels
+  in
+  [
+    Report.make ~id:"abl-cache"
+      ~title:
+        "Extension: the pure cache-based implementation variant (Section 2.3) vs \
+         the simulated ones (8 threads)"
+      ~notes:
+        [
+          "Cache-based capacity is the whole L1 but bounded by 2-way \
+           associativity for reads AND writes.";
+        ]
+      [ "panel"; "variant"; "tx/us"; "capacity aborts"; "serial commits" ]
+      rows;
+  ]
+
+let abl_phased ~quick ~seed =
+  (* Section 3.2's "more elaborate fallback": switch to an STM phase on
+     capacity overflow instead of serialising (PhasedTM-style). *)
+  let mk structure range =
+    {
+      (intset_cfg ~quick structure ~range ~update_pct:20 ~early_release:false) with
+      Intset.txns_per_thread = (if quick then 200 else 800);
+    }
+  in
+  let rows =
+    List.concat_map
+      (fun (label, structure, range) ->
+        let c = mk structure range in
+        List.map
+          (fun (mname, mode) ->
+            let tm = cfg mode ~threads:8 ~seed in
+            let r = Intset.run tm ~threads:8 c in
+            [
+              label;
+              mname;
+              Report.f2 r.Intset.throughput_tx_per_us;
+              string_of_int (Stats.serial_commits r.Intset.stats);
+            ])
+          [
+            ("serial fallback (paper)", Tm.Asf_mode Variant.llb8);
+            ("phased STM fallback", Tm.Phased_mode Variant.llb8);
+            ("pure TinySTM", Tm.Stm_mode);
+          ])
+      [
+        ("rb-tree r=16384", Intset.Rb_tree, 16384);
+        ("linked-list r=1020", Intset.Linked_list, 1020);
+      ]
+  in
+  [
+    Report.make ~id:"abl-phased"
+      ~title:
+        "Extension: serial-irrevocable vs PhasedTM-style STM fallback on \
+         capacity-bound workloads (LLB-8, 8 threads, 20% updates)"
+      ~notes:
+        [
+          "The software phase wins where the STM scales (rb-tree) and loses \
+           where it does not (long linked lists) - fallback choice is \
+           workload-dependent.";
+        ]
+      [ "workload"; "fallback"; "tx/us"; "serial commits" ]
+      rows;
+  ]
+
+let abl_wb ~quick ~seed =
+  (* The paper runs TinySTM in write-through mode; the write-back
+     alternative trades cheaper aborts for buffered loads and commit-time
+     write-back. *)
+  let strategies =
+    [
+      ("write-through (paper)", Asf_stm.Tinystm.Write_through);
+      ("write-back", Asf_stm.Tinystm.Write_back);
+    ]
+  in
+  let panels =
+    [ (Intset.Rb_tree, 1024, 20); (Intset.Hash_set, 4096, 100); (Intset.Linked_list, 128, 20) ]
+  in
+  let rows =
+    List.concat_map
+      (fun ((structure, range, upd) as panel) ->
+        List.concat_map
+          (fun (sname, stm_strategy) ->
+            List.map
+              (fun threads ->
+                let c = intset_cfg ~quick structure ~range ~update_pct:upd ~early_release:false in
+                let tm = { (cfg Tm.Stm_mode ~threads ~seed) with Tm.stm_strategy } in
+                let r = Intset.run tm ~threads c in
+                [
+                  panel_name panel;
+                  sname;
+                  string_of_int threads;
+                  Report.f2 r.Intset.throughput_tx_per_us;
+                  string_of_int (Stats.total_aborts r.Intset.stats);
+                ])
+              [ 1; 8 ])
+          strategies)
+      panels
+  in
+  [
+    Report.make ~id:"abl-wb"
+      ~title:"Ablation: TinySTM write-through (the paper's choice) vs write-back"
+      [ "panel"; "strategy"; "threads"; "tx/us"; "aborts" ]
+      rows;
+  ]
+
+let abl_socket ~quick ~seed =
+  (* The paper's simulated cores all sit on one socket ("resembling
+     future processors with higher levels of core integration"); this
+     extension splits them across two sockets with an interconnect hop
+     and a per-socket L3, quantifying what that choice hides. *)
+  let run params structure threads =
+    let c =
+      {
+        (intset_cfg ~quick structure ~range:1024
+           ~update_pct:(match structure with Intset.Hash_set -> 100 | _ -> 20)
+           ~early_release:false)
+        with
+        Intset.txns_per_thread = (if quick then 200 else 1000);
+      }
+    in
+    let tm = { (cfg (Tm.Asf_mode Variant.llb256) ~threads ~seed) with Tm.params } in
+    (Intset.run tm ~threads c).Intset.throughput_tx_per_us
+  in
+  let rows =
+    List.concat_map
+      (fun (sname, structure) ->
+        List.map
+          (fun threads ->
+            let single = run Params.barcelona structure threads in
+            let dual = run Params.dual_socket structure threads in
+            [
+              sname;
+              string_of_int threads;
+              Report.f2 single;
+              Report.f2 dual;
+              Report.f2 (dual /. max 0.001 single);
+            ])
+          [ 2; 4; 8 ])
+      [ ("rb-tree", Intset.Rb_tree); ("hash-set", Intset.Hash_set) ]
+  in
+  [
+    Report.make ~id:"abl-socket"
+      ~title:
+        "Extension: single-socket (paper) vs dual-socket topology with an interconnect hop (LLB-256; throughput tx/us)"
+      [ "structure"; "threads"; "1 socket"; "2 sockets"; "ratio" ]
+      rows;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    { id = "fig3"; description = "simulator accuracy methodology"; run = fig3 };
+    { id = "fig4"; description = "STAMP scalability (execution time)"; run = fig4 };
+    { id = "fig5"; description = "IntegerSet scalability (throughput)"; run = fig5 };
+    { id = "fig6"; description = "STAMP abort-cause breakdown"; run = fig6 };
+    { id = "fig7"; description = "capacity vs throughput"; run = fig7 };
+    { id = "fig8"; description = "early-release impact"; run = fig8 };
+    { id = "fig9"; description = "single-thread overhead (normalized)"; run = fig9 };
+    { id = "tab1"; description = "single-thread cycle breakdown"; run = tab1 };
+    { id = "abl-wins"; description = "requester-wins vs -loses"; run = abl_wins };
+    { id = "abl-tlb"; description = "Rock-style TLB-miss aborts"; run = abl_tlb };
+    { id = "abl-annot"; description = "selective annotation off"; run = abl_annot };
+    { id = "abl-backoff"; description = "back-off off"; run = abl_backoff };
+    { id = "abl-cache"; description = "cache-based ASF variant (extension)"; run = abl_cache };
+    { id = "abl-phased"; description = "PhasedTM fallback (extension)"; run = abl_phased };
+    { id = "abl-wb"; description = "STM write-through vs write-back"; run = abl_wb };
+    { id = "abl-socket"; description = "dual-socket topology (extension)"; run = abl_socket };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids () = List.map (fun e -> e.id) all
+
+let clear_cache () = Hashtbl.reset stamp_cache

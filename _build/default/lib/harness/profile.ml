@@ -1,0 +1,60 @@
+module Engine = Asf_engine.Engine
+module Memsys = Asf_cache.Memsys
+module Hierarchy = Asf_cache.Hierarchy
+module Tm = Asf_tm_rt.Tm
+
+type t = {
+  loads : int;
+  stores : int;
+  l1_hit_rate : float;
+  l2_hit_rate : float;
+  l3_hit_rate : float;
+  invalidations : int;
+  faults_serviced : int;
+  makespan_cycles : int;
+}
+
+let rate hits misses =
+  let total = hits + misses in
+  if total = 0 then 1.0 else float_of_int hits /. float_of_int total
+
+let of_system sys =
+  let mem = Tm.memsys sys in
+  let hier = Memsys.hierarchy mem in
+  let n_cores = Engine.n_cores (Tm.engine sys) in
+  let sum f =
+    let h = ref 0 and m = ref 0 in
+    for core = 0 to n_cores - 1 do
+      let s : Hierarchy.level_stats = f ~core in
+      h := !h + s.Hierarchy.hits;
+      m := !m + s.Hierarchy.misses
+    done;
+    (!h, !m)
+  in
+  let l1h, l1m = sum (Hierarchy.l1_stats hier) in
+  let l2h, l2m = sum (Hierarchy.l2_stats hier) in
+  let l3 = Hierarchy.l3_stats hier in
+  {
+    loads = Memsys.loads mem;
+    stores = Memsys.stores mem;
+    l1_hit_rate = rate l1h l1m;
+    l2_hit_rate = rate l2h l2m;
+    l3_hit_rate = rate l3.Hierarchy.hits l3.Hierarchy.misses;
+    invalidations = Hierarchy.invalidations hier;
+    faults_serviced = Memsys.faults_serviced mem;
+    makespan_cycles = Tm.makespan sys;
+  }
+
+let lines t =
+  [
+    Printf.sprintf "loads:            %d" t.loads;
+    Printf.sprintf "stores:           %d" t.stores;
+    Printf.sprintf "L1 hit rate:      %.1f%%" (100.0 *. t.l1_hit_rate);
+    Printf.sprintf "L2 hit rate:      %.1f%%" (100.0 *. t.l2_hit_rate);
+    Printf.sprintf "L3 hit rate:      %.1f%%" (100.0 *. t.l3_hit_rate);
+    Printf.sprintf "invalidations:    %d" t.invalidations;
+    Printf.sprintf "faults serviced:  %d" t.faults_serviced;
+    Printf.sprintf "makespan cycles:  %d" t.makespan_cycles;
+  ]
+
+let pp fmt t = List.iter (Format.fprintf fmt "%s@.") (lines t)

@@ -1,0 +1,21 @@
+(** Memory-system profile of a finished run: cache hit rates, coherence
+    invalidations, TLB faults — the counters one would read from
+    performance-monitoring hardware. *)
+
+type t = {
+  loads : int;
+  stores : int;
+  l1_hit_rate : float;  (** aggregated over cores *)
+  l2_hit_rate : float;
+  l3_hit_rate : float;
+  invalidations : int;
+  faults_serviced : int;
+  makespan_cycles : int;
+}
+
+val of_system : Asf_tm_rt.Tm.system -> t
+
+val pp : Format.formatter -> t -> unit
+
+val lines : t -> string list
+(** Human-readable summary, one metric per line. *)

@@ -1,0 +1,63 @@
+type t = {
+  id : string;
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ?(notes = []) columns rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length columns then
+        invalid_arg ("Report.make: ragged row in " ^ id))
+    rows;
+  { id; title; columns; rows; notes }
+
+let widths t =
+  let measure acc row = List.map2 (fun w cell -> max w (String.length cell)) acc row in
+  List.fold_left measure (List.map String.length t.columns) t.rows
+
+let pp fmt t =
+  let ws = widths t in
+  let line ch =
+    Format.fprintf fmt "+%s+@." (String.concat "+" (List.map (fun w -> String.make (w + 2) ch) ws))
+  in
+  let row cells =
+    let padded = List.map2 (fun w c -> Printf.sprintf " %-*s " w c) ws cells in
+    Format.fprintf fmt "|%s|@." (String.concat "|" padded)
+  in
+  Format.fprintf fmt "@.== %s: %s ==@." t.id t.title;
+  line '-';
+  row t.columns;
+  line '=';
+  List.iter row t.rows;
+  line '-';
+  List.iter (fun n -> Format.fprintf fmt "note: %s@." n) t.notes
+
+let print t = pp Format.std_formatter t
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_escape cells) in
+  String.concat "\n" (line t.columns :: List.map line t.rows) ^ "\n"
+
+let save_csv ~dir t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (t.id ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  close_out oc;
+  path
+
+let f1 x = Printf.sprintf "%.1f" x
+
+let f2 x = Printf.sprintf "%.2f" x
+
+let f3 x = Printf.sprintf "%.3f" x
+
+let pct x = Printf.sprintf "%.1f%%" x

@@ -1,0 +1,34 @@
+(** Result tables for the experiment harness: aligned ASCII rendering for
+    the terminal and CSV export for plotting. *)
+
+type t = {
+  id : string;  (** e.g. "fig5" *)
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make : id:string -> title:string -> ?notes:string list -> string list -> string list list -> t
+
+val pp : Format.formatter -> t -> unit
+
+val print : t -> unit
+(** [pp] to stdout. *)
+
+val to_csv : t -> string
+
+val save_csv : dir:string -> t -> string
+(** Writes [<dir>/<id>.csv] (creating [dir]) and returns the path. *)
+
+(** {1 Cell formatting helpers} *)
+
+val f1 : float -> string
+(** One decimal place. *)
+
+val f2 : float -> string
+
+val f3 : float -> string
+
+val pct : float -> string
+(** One decimal place with a trailing [%]. *)

@@ -1,0 +1,1 @@
+lib/intset/intset.ml: Array Asf_dstruct Asf_engine Asf_machine Asf_tm_rt Float List

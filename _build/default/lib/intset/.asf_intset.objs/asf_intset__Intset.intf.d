@@ -1,0 +1,1 @@
+lib/intset/intset.mli: Asf_tm_rt

@@ -1,0 +1,141 @@
+module Prng = Asf_engine.Prng
+module Params = Asf_machine.Params
+module Stats = Asf_tm_rt.Stats
+module Tm = Asf_tm_rt.Tm
+module Ops = Asf_dstruct.Ops
+module Tlist = Asf_dstruct.Tlist
+module Tskiplist = Asf_dstruct.Tskiplist
+module Trbtree = Asf_dstruct.Trbtree
+module Thashset = Asf_dstruct.Thashset
+
+type structure = Linked_list | Skip_list | Rb_tree | Hash_set
+
+let structure_name = function
+  | Linked_list -> "linked-list"
+  | Skip_list -> "skip-list"
+  | Rb_tree -> "rb-tree"
+  | Hash_set -> "hash-set"
+
+type cfg = {
+  structure : structure;
+  range : int;
+  update_pct : int;
+  init_size : int option;
+  txns_per_thread : int;
+  early_release : bool;
+  buckets : int;
+}
+
+let default_cfg structure =
+  {
+    structure;
+    range = 1024;
+    update_pct = (match structure with Hash_set -> 100 | _ -> 20);
+    init_size = None;
+    txns_per_thread = 2000;
+    early_release = false;
+    buckets = 1 lsl 17;
+  }
+
+type result = {
+  txns : int;
+  cycles : int;
+  throughput_tx_per_us : float;
+  stats : Stats.t;
+  final_size : int;
+  size_ok : bool;
+}
+
+(* A uniform view over the four structures. *)
+type set_iface = {
+  contains : Ops.t -> int -> bool;
+  add : Ops.t -> int -> bool;
+  remove : Ops.t -> int -> bool;
+  size : Ops.t -> int;
+}
+
+let make_structure cfg setup_o =
+  match cfg.structure with
+  | Linked_list ->
+      let t = Tlist.create setup_o in
+      {
+        contains = (fun o k -> Tlist.contains o t k);
+        add = (fun o k -> Tlist.add o t k);
+        remove = (fun o k -> Tlist.remove o t k);
+        size = (fun o -> Tlist.size o t);
+      }
+  | Skip_list ->
+      let max_level = max 4 (int_of_float (Float.log2 (float_of_int cfg.range))) in
+      let t = Tskiplist.create setup_o ~max_level () in
+      {
+        contains = (fun o k -> Tskiplist.contains o t k);
+        add = (fun o k -> Tskiplist.add o t k);
+        remove = (fun o k -> Tskiplist.remove o t k);
+        size = (fun o -> List.length (Tskiplist.to_list o t));
+      }
+  | Rb_tree ->
+      let t = Trbtree.create setup_o in
+      {
+        contains = (fun o k -> Trbtree.mem o t k);
+        add = (fun o k -> Trbtree.insert o t k k);
+        remove = (fun o k -> Trbtree.remove o t k);
+        size = (fun o -> Trbtree.size o t);
+      }
+  | Hash_set ->
+      let t = Thashset.create setup_o ~buckets:cfg.buckets in
+      {
+        contains = (fun o k -> Thashset.contains o t k);
+        add = (fun o k -> Thashset.add o t k);
+        remove = (fun o k -> Thashset.remove o t k);
+        size = (fun o -> Thashset.size o t);
+      }
+
+let populate set setup_o rng ~range ~target =
+  let n = ref 0 in
+  while !n < target do
+    if set.add setup_o (Prng.int rng range) then incr n
+  done
+
+let run (tm_cfg : Tm.config) ~threads cfg =
+  let sys = Tm.create tm_cfg in
+  let setup_o = Ops.setup sys in
+  let set = make_structure cfg setup_o in
+  let init = match cfg.init_size with Some n -> n | None -> cfg.range / 2 in
+  let rng = Prng.create (tm_cfg.Tm.seed + 4242) in
+  populate set setup_o rng ~range:cfg.range ~target:init;
+  (* Per-key successful-operation balance, for the final size check. *)
+  let net = Array.make cfg.range 0 in
+  let ctxs =
+    List.init threads (fun core ->
+        Tm.spawn sys ~core (fun ctx ->
+            let o = if cfg.early_release then Ops.tx_er ctx else Ops.tx ctx in
+            let rng = Tm.prng ctx in
+            for _ = 1 to cfg.txns_per_thread do
+              let k = Prng.int rng cfg.range in
+              let roll = Prng.int rng 200 in
+              if roll < cfg.update_pct then begin
+                (* Half the update budget inserts, half removes. *)
+                if Tm.atomic ctx (fun () -> set.add o k) then net.(k) <- net.(k) + 1
+              end
+              else if roll < 2 * cfg.update_pct then begin
+                if Tm.atomic ctx (fun () -> set.remove o k) then net.(k) <- net.(k) - 1
+              end
+              else ignore (Tm.atomic ctx (fun () -> set.contains o k))
+            done))
+  in
+  Tm.run sys;
+  let cycles = Tm.makespan sys in
+  let stats = Stats.create () in
+  List.iter (fun c -> Stats.add (Tm.stats c) ~into:stats) ctxs;
+  let txns = threads * cfg.txns_per_thread in
+  let final_size = set.size setup_o in
+  let expected_size = init + Array.fold_left ( + ) 0 net in
+  let us = Params.cycles_to_us tm_cfg.Tm.params cycles in
+  {
+    txns;
+    cycles;
+    throughput_tx_per_us = float_of_int txns /. us;
+    stats;
+    final_size;
+    size_ok = final_size = expected_size;
+  }

@@ -1,0 +1,41 @@
+(** The IntegerSet micro-benchmark driver (Section 5 of the paper).
+
+    Runs random search / insert / remove operations over an ordered set of
+    integers implemented as a linked list, skip list, red-black tree, or
+    hash set. Following the paper's setup: operations and elements are
+    uniformly random; the initial size is half the key range; an insertion
+    (removal) of a present (absent) element is a no-op; the update
+    percentage is split evenly between insertions and removals, so the set
+    size stays near its initial value. *)
+
+type structure = Linked_list | Skip_list | Rb_tree | Hash_set
+
+val structure_name : structure -> string
+
+type cfg = {
+  structure : structure;
+  range : int;  (** keys drawn from [\[0, range)] *)
+  update_pct : int;  (** e.g. 20 = 10 % insert + 10 % remove + 80 % search *)
+  init_size : int option;  (** default [range / 2] *)
+  txns_per_thread : int;
+  early_release : bool;  (** ASF early release during list traversals *)
+  buckets : int;  (** hash-set bucket count (power of two) *)
+}
+
+val default_cfg : structure -> cfg
+(** range 1024, 20 % updates (100 % for the hash set, as in Fig. 5),
+    2^17 buckets, 2000 transactions per thread. *)
+
+type result = {
+  txns : int;  (** committed top-level transactions *)
+  cycles : int;  (** simulated makespan *)
+  throughput_tx_per_us : float;
+  stats : Asf_tm_rt.Stats.t;  (** aggregated over threads *)
+  final_size : int;
+  size_ok : bool;  (** final size consistent with successful ops *)
+}
+
+val run : Asf_tm_rt.Tm.config -> threads:int -> cfg -> result
+(** Builds the structure (untimed setup), runs [threads] worker threads,
+    and reports simulated-time throughput. Deterministic for a given
+    configuration and [config.seed]. *)

@@ -1,0 +1,1 @@
+lib/mem/ram.ml: Addr Array

@@ -1,0 +1,25 @@
+type t = int
+
+let word_bytes = 8
+
+let words_per_line = 8
+
+let words_per_page = 512
+
+let line_shift = 3
+
+let page_shift = 9
+
+let line_of a = a lsr line_shift
+
+let page_of a = a lsr page_shift
+
+let line_base l = l lsl line_shift
+
+let page_base p = p lsl page_shift
+
+let line_offset a = a land (words_per_line - 1)
+
+let lines_of_words n = (n + words_per_line - 1) / words_per_line
+
+let pp fmt a = Format.fprintf fmt "0x%x" (a * word_bytes)

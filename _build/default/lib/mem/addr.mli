@@ -1,0 +1,39 @@
+(** Address arithmetic.
+
+    The simulated machine is word-addressed: one address names one 8-byte
+    word. A cache line is 64 bytes = {!words_per_line} words; a page is
+    4 KB = {!words_per_page} words. These granularities are fixed because
+    they are architectural in ASF (the unit of protection is the 64-byte
+    line). *)
+
+type t = int
+(** A word address. *)
+
+val word_bytes : int
+(** 8. *)
+
+val words_per_line : int
+(** 8. *)
+
+val words_per_page : int
+(** 512. *)
+
+val line_of : t -> int
+(** Index of the cache line containing a word. *)
+
+val page_of : t -> int
+(** Index of the page containing a word. *)
+
+val line_base : int -> t
+(** First word address of a line. *)
+
+val page_base : int -> t
+(** First word address of a page. *)
+
+val line_offset : t -> int
+(** Position of a word within its line, in [0, 7]. *)
+
+val lines_of_words : int -> int
+(** Number of lines needed to hold [n] consecutive line-aligned words. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(** Simulated physical memory.
+
+    A flat, word-addressed, demand-grown store. Reads of never-written words
+    return 0, like zero-fill-on-demand pages. [Ram] is purely functional
+    state with no timing: latencies are the cache hierarchy's business, and
+    page mapping (first-touch fault behaviour) is the TLB's. *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> Addr.t -> int
+
+val write : t -> Addr.t -> int -> unit
+
+val read_line : t -> int -> int array
+(** [read_line t line] copies the 8 words of a cache line. *)
+
+val write_line : t -> int -> int array -> unit
+(** [write_line t line words] restores the 8 words of a line (used for ASF
+    write-set rollback). *)
+
+val footprint_words : t -> int
+(** Number of words in chunks that have been materialised (diagnostics). *)

@@ -1,0 +1,1 @@
+lib/stamp/genome.ml: Array Asf_dstruct Asf_engine Asf_tm_rt Hashtbl List Stamp_common

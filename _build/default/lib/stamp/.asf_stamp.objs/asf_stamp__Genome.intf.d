@@ -1,0 +1,1 @@
+lib/stamp/genome.mli: Asf_tm_rt Stamp_common

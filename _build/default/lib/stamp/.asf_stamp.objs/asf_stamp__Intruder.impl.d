@@ -1,0 +1,1 @@
+lib/stamp/intruder.ml: Array Asf_dstruct Asf_engine Asf_tm_rt Stamp_common

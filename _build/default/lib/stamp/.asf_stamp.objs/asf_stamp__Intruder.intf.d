@@ -1,0 +1,1 @@
+lib/stamp/intruder.mli: Asf_tm_rt Stamp_common

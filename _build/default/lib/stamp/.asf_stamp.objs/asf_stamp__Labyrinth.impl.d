@@ -1,0 +1,1 @@
+lib/stamp/labyrinth.ml: Array Asf_dstruct Asf_engine Asf_tm_rt Hashtbl List Option Queue Stamp_common

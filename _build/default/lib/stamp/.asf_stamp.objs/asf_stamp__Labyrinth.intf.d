@@ -1,0 +1,1 @@
+lib/stamp/labyrinth.mli: Asf_tm_rt Stamp_common

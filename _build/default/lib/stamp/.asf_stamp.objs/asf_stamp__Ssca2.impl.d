@@ -1,0 +1,1 @@
+lib/stamp/ssca2.ml: Array Asf_engine Asf_mem Asf_tm_rt Stamp_common

@@ -1,0 +1,1 @@
+lib/stamp/ssca2.mli: Asf_tm_rt Stamp_common

@@ -1,0 +1,1 @@
+lib/stamp/stamp.ml: Genome Intruder Kmeans Labyrinth List Ssca2 Vacation

@@ -1,0 +1,1 @@
+lib/stamp/stamp_common.ml: Asf_machine Asf_mem Asf_tm_rt List

@@ -1,0 +1,1 @@
+lib/stamp/stamp_common.mli: Asf_machine Asf_tm_rt

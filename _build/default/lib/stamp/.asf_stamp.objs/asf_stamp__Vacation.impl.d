@@ -1,0 +1,1 @@
+lib/stamp/vacation.ml: Array Asf_dstruct Asf_engine Asf_tm_rt List Stamp_common

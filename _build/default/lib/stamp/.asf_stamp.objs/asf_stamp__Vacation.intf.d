@@ -1,0 +1,1 @@
+lib/stamp/vacation.mli: Asf_tm_rt Stamp_common

@@ -1,0 +1,56 @@
+module Params = Asf_machine.Params
+module Stats = Asf_tm_rt.Stats
+module Tm = Asf_tm_rt.Tm
+
+type result = {
+  name : string;
+  threads : int;
+  cycles : int;
+  stats : Stats.t;
+  checks : (string * bool) list;
+}
+
+let ok r = List.for_all snd r.checks
+
+let ms params r = Params.cycles_to_ms params r.cycles
+
+module Barrier = struct
+  (* One padded line: [0] arrival count, [1] generation. *)
+  type t = { addr : Asf_mem.Addr.t; n : int }
+
+  let create sys ~n =
+    let addr = Tm.setup_alloc sys 2 in
+    Tm.setup_poke sys addr 0;
+    Tm.setup_poke sys (addr + 1) 0;
+    { addr; n }
+
+  let wait ctx b =
+    let gen =
+      Tm.atomic ctx (fun () ->
+          let g = Tm.load ctx (b.addr + 1) in
+          let c = Tm.load ctx b.addr + 1 in
+          if c = b.n then begin
+            Tm.store ctx b.addr 0;
+            Tm.store ctx (b.addr + 1) (g + 1)
+          end
+          else Tm.store ctx b.addr c;
+          g)
+    in
+    while Tm.load ctx (b.addr + 1) = gen do
+      Tm.work ctx 300
+    done
+end
+
+let run_workers sys ~threads body =
+  let ctxs =
+    List.init threads (fun tid -> Tm.spawn sys ~core:tid (fun ctx -> body ctx tid))
+  in
+  Tm.run sys;
+  let agg = Stats.create () in
+  List.iter (fun c -> Stats.add (Tm.stats c) ~into:agg) ctxs;
+  agg
+
+let chunk n ~threads ~tid =
+  let per = (n + threads - 1) / threads in
+  let start = tid * per in
+  (min start n, min (start + per) n)

@@ -1,0 +1,39 @@
+(** Shared infrastructure for the STAMP-like applications: the result
+    record every benchmark returns, a transactional sense-reversing
+    barrier, and worker management. *)
+
+type result = {
+  name : string;
+  threads : int;
+  cycles : int;  (** simulated makespan (setup is untimed) *)
+  stats : Asf_tm_rt.Stats.t;  (** aggregated over worker threads *)
+  checks : (string * bool) list;  (** named validation outcomes *)
+}
+
+val ok : result -> bool
+(** All checks passed. *)
+
+val ms : Asf_machine.Params.t -> result -> float
+(** Execution time in simulated milliseconds. *)
+
+module Barrier : sig
+  (** Transactional sense-reversing barrier (counter + generation in
+      simulated memory): arrival is a small transaction, the wait is a
+      plain-load spin. *)
+
+  type t
+
+  val create : Asf_tm_rt.Tm.system -> n:int -> t
+
+  val wait : Asf_tm_rt.Tm.ctx -> t -> unit
+end
+
+val run_workers :
+  Asf_tm_rt.Tm.system -> threads:int -> (Asf_tm_rt.Tm.ctx -> int -> unit) -> Asf_tm_rt.Stats.t
+(** [run_workers sys ~threads body] spawns [body ctx tid] on cores
+    [0 .. threads-1], runs the engine to completion, and returns the
+    aggregated statistics. *)
+
+val chunk : int -> threads:int -> tid:int -> int * int
+(** [chunk n ~threads ~tid] is the [(start, stop)] half-open range of the
+    [tid]-th of [threads] near-equal slices of [0..n-1]. *)

@@ -1,0 +1,1 @@
+lib/stm/tinystm.ml: Asf_cache Asf_engine Asf_mem Hashtbl List

@@ -1,0 +1,1 @@
+lib/stm/tinystm.mli: Asf_cache Asf_mem

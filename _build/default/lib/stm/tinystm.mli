@@ -1,0 +1,88 @@
+(** Word-based software transactional memory: a reimplementation of
+    TinySTM 0.9.9 in write-through mode, the STM baseline of the paper's
+    evaluation (Section 5).
+
+    Algorithm (encounter-time locking, time-based validation):
+
+    - a global version clock and an array of ownership records (orecs),
+      hashed by cache line, both living in {e simulated} memory so every
+      metadata access pays real cache/coherence costs;
+    - transactional loads read the orec, the data word, and the orec again;
+      a version newer than the snapshot triggers incremental revalidation
+      of the read set ("timestamp extension") or an abort;
+    - transactional stores acquire the orec with a CAS (suicide on
+      conflict), log the old word, and write through to memory;
+    - commit fetches-and-adds the clock, revalidates if needed, and
+      releases orecs at the new version; aborts undo in reverse order.
+
+    Aborts are delivered as {!Stm_abort}; the caller (the TM runtime's
+    retry loop) handles back-off and re-execution. *)
+
+exception Stm_abort
+
+type strategy =
+  | Write_through
+      (** encounter-time locking, in-place stores, undo log (the paper's
+          baseline configuration) *)
+  | Write_back
+      (** encounter-time locking, stores buffered in a redo log that is
+          replayed at commit; aborts are cheaper, loads must snoop the
+          write log and commits pay the write-back *)
+
+type costs = {
+  start_cycles : int;  (** descriptor setup per attempt *)
+  load_cycles : int;  (** bookkeeping instructions per transactional load *)
+  store_cycles : int;
+  commit_cycles : int;
+  abort_cycles : int;
+}
+
+val default_costs : costs
+
+type t
+
+val create :
+  ?costs:costs ->
+  ?strategy:strategy ->
+  ?orec_bits:int ->
+  Asf_cache.Memsys.t ->
+  Asf_mem.Alloc.t ->
+  t
+(** Allocates the orec table (2^[orec_bits] words, default 16) and the
+    global clock in simulated memory, pre-mapped as a loaded STM library's
+    data segment would be. [strategy] defaults to {!Write_through}. *)
+
+val strategy : t -> strategy
+
+type tx
+
+val make_tx : t -> core:int -> tx
+(** The per-thread transaction descriptor. *)
+
+val start : tx -> unit
+
+val load : tx -> Asf_mem.Addr.t -> int
+
+val store : tx -> Asf_mem.Addr.t -> int -> unit
+
+val commit : tx -> unit
+(** @raise Stm_abort if final validation fails (state already undone). *)
+
+val abort : tx -> 'a
+(** Explicit abort: undo, release, raise {!Stm_abort}. *)
+
+val active : tx -> bool
+
+val read_set_size : tx -> int
+
+val write_set_size : tx -> int
+
+(** {1 Counters} *)
+
+val starts : t -> int
+
+val commits : t -> int
+
+val aborts : t -> int
+
+val extensions : t -> int

@@ -1,0 +1,1 @@
+lib/tm/elision.ml: Asf_cache Asf_engine Asf_mem Fun Tm

@@ -1,0 +1,1 @@
+lib/tm/elision.mli: Tm

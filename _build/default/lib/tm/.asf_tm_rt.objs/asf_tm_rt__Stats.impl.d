@@ -1,0 +1,1 @@
+lib/tm/stats.ml: Array Asf_core Stack

@@ -1,0 +1,1 @@
+lib/tm/stats.mli: Asf_core

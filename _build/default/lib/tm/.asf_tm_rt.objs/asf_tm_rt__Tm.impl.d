@@ -1,0 +1,1 @@
+lib/tm/tm.ml: Asf_cache Asf_core Asf_engine Asf_machine Asf_mem Asf_stm Fun Option Stats Txmalloc

@@ -1,0 +1,1 @@
+lib/tm/tm.mli: Asf_cache Asf_core Asf_engine Asf_machine Asf_mem Asf_stm Stats

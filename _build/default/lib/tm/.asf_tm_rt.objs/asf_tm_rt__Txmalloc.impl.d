@@ -1,0 +1,1 @@
+lib/tm/txmalloc.ml: Asf_mem Hashtbl List

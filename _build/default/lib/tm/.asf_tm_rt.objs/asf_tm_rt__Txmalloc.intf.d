@@ -1,0 +1,1 @@
+lib/tm/txmalloc.mli: Asf_mem

@@ -1,0 +1,30 @@
+(** Transactional lock elision (Rajwar & Goodman), the mechanism the
+    paper's stack offers to lock-based programs (Section 3): a critical
+    section executes as a speculative region that merely {e subscribes} to
+    the lock word instead of acquiring it, so non-conflicting critical
+    sections of the same lock run in parallel. A thread that actually
+    acquires the lock (a legacy path, or the fallback) writes the lock
+    word and thereby — through ordinary requester-wins conflict
+    detection — aborts every elided section in flight.
+
+    The fallback is taken in serial-irrevocable mode, where the real lock
+    is acquired so that raw {!acquire}/{!release} users remain mutually
+    exclusive with fallen-back sections. *)
+
+type t
+(** A simulated spin lock usable both elided and conventionally. *)
+
+val make : Tm.system -> t
+(** Allocates the lock word (own cache line) during setup. *)
+
+val with_lock : Tm.ctx -> t -> (unit -> 'a) -> 'a
+(** Run a critical section, elided when possible. *)
+
+val acquire : Tm.ctx -> t -> unit
+(** Conventional (non-elided) spin acquisition — the legacy code path.
+    Aborts all concurrent elided sections of this lock. *)
+
+val release : Tm.ctx -> t -> unit
+
+val held : Tm.system -> t -> bool
+(** Untimed inspection (tests). *)

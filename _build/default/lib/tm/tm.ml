@@ -1,0 +1,516 @@
+module Engine = Asf_engine.Engine
+module Prng = Asf_engine.Prng
+module Params = Asf_machine.Params
+module Addr = Asf_mem.Addr
+module Alloc = Asf_mem.Alloc
+module Memsys = Asf_cache.Memsys
+module Tlb = Asf_cache.Tlb
+module Abort = Asf_core.Abort
+module Variant = Asf_core.Variant
+module Asf = Asf_core.Asf
+module Stm = Asf_stm.Tinystm
+
+type mode = Asf_mode of Variant.t | Stm_mode | Seq_mode | Phased_mode of Variant.t
+
+type config = {
+  mode : mode;
+  n_cores : int;
+  params : Params.t;
+  seed : int;
+  max_retries : int;
+  backoff : bool;
+  selective_annotation : bool;
+  abort_on_tlb_miss : bool;
+  requester_wins : bool;
+  begin_abi_cycles : int;
+  commit_abi_cycles : int;
+  malloc_cycles : int;
+  phase_quantum : int;
+  stm_strategy : Stm.strategy;
+}
+
+let default_config mode ~n_cores =
+  {
+    mode;
+    n_cores;
+    params = Params.barcelona;
+    seed = 1;
+    max_retries = 8;
+    backoff = true;
+    selective_annotation = true;
+    abort_on_tlb_miss = false;
+    requester_wins = true;
+    (* The ABI begin path is a software setjmp plus descriptor setup; its
+       cost is of the same order as an STM begin, which is why Table 1
+       shows similar start/commit cycles for ASF-TM and TinySTM. *)
+    begin_abi_cycles = 45;
+    commit_abi_cycles = 18;
+    malloc_cycles = 40;
+    phase_quantum = 400;
+    stm_strategy = Stm.Write_through;
+  }
+
+type path = Direct | Hw | Serial | Stm_path
+
+(* PhasedTM-style global phase (the paper's Section 3.2 "switch between
+   STM or ASF transactions" alternative fallback): the whole system is
+   either in the hardware phase or, after a capacity overflow, in a
+   software (STM) phase for [phase_quantum] transactions. The phase word
+   shares the serial lock's cache line, so hardware regions subscribe to
+   both with a single protected load and any transition dooms them. *)
+type phase_state = {
+  mutable current_phase : [ `Hw | `Sw ];
+  mutable transitioning : bool;
+  mutable active_stm : int;
+  mutable sw_txns_left : int;
+  mutable to_sw_switches : int;
+  mutable to_hw_switches : int;
+}
+
+type system = {
+  cfg : config;
+  engine : Engine.t;
+  mem : Memsys.t;
+  galloc : Alloc.t;
+  asf : Asf.t option;
+  stm : Stm.t option;
+  serial_lock : Addr.t;
+  phase_word : Addr.t;  (** serial_lock + 1; 0 = hardware phase *)
+  phase : phase_state option;
+}
+
+type ctx = {
+  sys : system;
+  core : int;
+  prng : Prng.t;
+  stats : Stats.t;
+  tx : Stm.tx option;
+  pool : Txmalloc.t;
+  mutable depth : int;
+  mutable path : path;
+  mutable pending_fault : int option;
+}
+
+let create cfg =
+  if cfg.mode = Seq_mode && cfg.n_cores > 1 then
+    invalid_arg "Tm.create: Seq_mode is uninstrumented and single-threaded";
+  let engine = Engine.create ~n_cores:cfg.n_cores in
+  let mem = Memsys.create cfg.params engine in
+  if cfg.abort_on_tlb_miss then Tlb.set_abort_on_tlb_miss (Memsys.tlb mem) true;
+  let galloc = Alloc.create () in
+  let serial_lock = Alloc.alloc_lines galloc 1 in
+  Memsys.poke mem serial_lock 0;
+  Memsys.poke mem (serial_lock + 1) 0;
+  let asf =
+    match cfg.mode with
+    | Asf_mode v | Phased_mode v ->
+        Some (Asf.create mem ~requester_wins:cfg.requester_wins v)
+    | Stm_mode | Seq_mode -> None
+  in
+  let stm =
+    match cfg.mode with
+    | Stm_mode | Phased_mode _ ->
+        Some (Stm.create ~strategy:cfg.stm_strategy mem galloc)
+    | Asf_mode _ | Seq_mode -> None
+  in
+  let phase =
+    match cfg.mode with
+    | Phased_mode _ ->
+        Some
+          {
+            current_phase = `Hw;
+            transitioning = false;
+            active_stm = 0;
+            sw_txns_left = 0;
+            to_sw_switches = 0;
+            to_hw_switches = 0;
+          }
+    | Asf_mode _ | Stm_mode | Seq_mode -> None
+  in
+  { cfg; engine; mem; galloc; asf; stm; serial_lock; phase_word = serial_lock + 1; phase }
+
+let engine t = t.engine
+
+let memsys t = t.mem
+
+let alloc t = t.galloc
+
+let config t = t.cfg
+
+let asf t = t.asf
+
+let stm t = t.stm
+
+let make_ctx sys ~core =
+  {
+    sys;
+    core;
+    prng = Prng.create (sys.cfg.seed + (core * 7919) + 17);
+    stats = Stats.create ();
+    tx = (match sys.stm with Some s -> Some (Stm.make_tx s ~core) | None -> None);
+    pool = Txmalloc.create sys.galloc;
+    depth = 0;
+    path = Direct;
+    pending_fault = None;
+  }
+
+let core ctx = ctx.core
+
+let system ctx = ctx.sys
+
+let prng ctx = ctx.prng
+
+let stats ctx = ctx.stats
+
+let now ctx = Engine.core_time ctx.sys.engine ctx.core
+
+let with_cat ctx cat f =
+  Stats.enter ctx.stats ~now:(now ctx) cat;
+  Fun.protect ~finally:(fun () -> Stats.exit_ ctx.stats ~now:(now ctx)) f
+
+let the_asf ctx =
+  match ctx.sys.asf with Some a -> a | None -> invalid_arg "Tm: no ASF in this mode"
+
+let the_tx ctx =
+  match ctx.tx with Some tx -> tx | None -> invalid_arg "Tm: no STM in this mode"
+
+(* ------------------------------------------------------------------ *)
+(* Transactional and annotated accesses                                 *)
+(* ------------------------------------------------------------------ *)
+
+let load ctx addr =
+  match ctx.path with
+  | Hw -> with_cat ctx Stats.cat_ld_st (fun () -> Asf.lock_load (the_asf ctx) ~core:ctx.core addr)
+  | Stm_path -> with_cat ctx Stats.cat_ld_st (fun () -> Stm.load (the_tx ctx) addr)
+  | Serial | Direct -> Memsys.load ctx.sys.mem ~core:ctx.core addr
+
+let store ctx addr v =
+  match ctx.path with
+  | Hw ->
+      with_cat ctx Stats.cat_ld_st (fun () ->
+          Asf.lock_store (the_asf ctx) ~core:ctx.core addr v)
+  | Stm_path -> with_cat ctx Stats.cat_ld_st (fun () -> Stm.store (the_tx ctx) addr v)
+  | Serial | Direct -> Memsys.store ctx.sys.mem ~core:ctx.core addr v
+
+let nload ctx addr =
+  match ctx.path with
+  | Hw ->
+      if ctx.sys.cfg.selective_annotation then
+        Asf.plain_load (the_asf ctx) ~core:ctx.core addr
+      else load ctx addr
+  | Stm_path ->
+      if ctx.sys.cfg.selective_annotation then Memsys.load ctx.sys.mem ~core:ctx.core addr
+      else load ctx addr
+  | Serial | Direct -> Memsys.load ctx.sys.mem ~core:ctx.core addr
+
+let nstore ctx addr v =
+  match ctx.path with
+  | Hw ->
+      if ctx.sys.cfg.selective_annotation then
+        Asf.plain_store (the_asf ctx) ~core:ctx.core addr v
+      else store ctx addr v
+  | Stm_path ->
+      if ctx.sys.cfg.selective_annotation then
+        Memsys.store ctx.sys.mem ~core:ctx.core addr v
+      else store ctx addr v
+  | Serial | Direct -> Memsys.store ctx.sys.mem ~core:ctx.core addr v
+
+let release ctx addr =
+  match ctx.path with
+  | Hw -> Asf.release (the_asf ctx) ~core:ctx.core addr
+  | Stm_path | Serial | Direct -> ()
+
+let work _ctx n = Engine.elapse n
+
+let in_tx ctx = ctx.depth > 0
+
+let serial_mode ctx = ctx.path = Serial
+
+(* ------------------------------------------------------------------ *)
+(* Memory management                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let malloc ctx words =
+  Engine.elapse ctx.sys.cfg.malloc_cycles;
+  match ctx.path with
+  | Hw -> (
+      match Txmalloc.alloc_tx ctx.pool words with
+      | Some addr -> addr
+      | None -> Asf.self_abort (the_asf ctx) ~core:ctx.core Abort.Malloc)
+  | Serial | Direct | Stm_path -> Txmalloc.alloc_direct ctx.pool words
+
+let free ctx addr words =
+  Engine.elapse (ctx.sys.cfg.malloc_cycles / 2);
+  match ctx.path with
+  | Hw | Stm_path -> Txmalloc.free_tx ctx.pool addr words
+  | Serial | Direct -> Txmalloc.free_direct ctx.pool addr words
+
+(* ------------------------------------------------------------------ *)
+(* Serial-irrevocable mode                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec wait_serial_free ctx =
+  if Memsys.load ctx.sys.mem ~core:ctx.core ctx.sys.serial_lock <> 0 then begin
+    Engine.elapse 120;
+    wait_serial_free ctx
+  end
+
+let rec acquire_serial ctx =
+  if
+    not
+      (Memsys.cas ctx.sys.mem ~core:ctx.core ctx.sys.serial_lock ~expect:0
+         ~value:(ctx.core + 1))
+  then begin
+    Engine.elapse 150;
+    acquire_serial ctx
+  end
+
+let release_serial ctx = Memsys.store ctx.sys.mem ~core:ctx.core ctx.sys.serial_lock 0
+
+let in_body ctx path f =
+  ctx.depth <- 1;
+  ctx.path <- path;
+  Fun.protect
+    ~finally:(fun () ->
+      ctx.depth <- 0;
+      ctx.path <- Direct)
+    f
+
+let run_serial ctx f =
+  Stats.begin_attempt ctx.stats ~now:(now ctx);
+  Txmalloc.attempt_begin ctx.pool;
+  with_cat ctx Stats.cat_start_commit (fun () -> acquire_serial ctx);
+  let r = in_body ctx Serial (fun () -> with_cat ctx Stats.cat_non_instr f) in
+  with_cat ctx Stats.cat_start_commit (fun () -> release_serial ctx);
+  Txmalloc.attempt_commit ctx.pool;
+  Stats.commit_attempt ctx.stats ~now:(now ctx) ~serial:true;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* ASF execution path                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let do_backoff ctx retries =
+  with_cat ctx Stats.cat_abort_waste (fun () ->
+      if ctx.sys.cfg.backoff then begin
+        let window = min (64 lsl min retries 10) 65536 in
+        Engine.elapse (16 + Prng.int ctx.prng window)
+      end
+      else Engine.elapse 16)
+
+let service_pending_fault ctx =
+  match ctx.pending_fault with
+  | Some page ->
+      ctx.pending_fault <- None;
+      with_cat ctx Stats.cat_abort_waste (fun () ->
+          Memsys.service_fault ctx.sys.mem ~page)
+  | None -> ()
+
+(* Abort code used when a hardware region observes a phase change. *)
+let phase_change_code = 42
+
+let rec asf_attempt ctx f retries =
+  service_pending_fault ctx;
+  if retries > ctx.sys.cfg.max_retries then run_serial ctx f
+  else begin
+    let a = the_asf ctx in
+    Stats.begin_attempt ctx.stats ~now:(now ctx);
+    Txmalloc.attempt_begin ctx.pool;
+    match
+      with_cat ctx Stats.cat_start_commit (fun () ->
+          (* Do not even start while a serial transaction holds the lock. *)
+          wait_serial_free ctx;
+          Asf.speculate a ~core:ctx.core;
+          (* Subscribe to the serial lock: its acquisition by any fallback
+             transaction dooms this region via requester-wins. The phase
+             word shares the line, so one subscription covers both. *)
+          if Asf.lock_load a ~core:ctx.core ctx.sys.serial_lock <> 0 then
+            Asf.self_abort a ~core:ctx.core Abort.Contention;
+          if
+            ctx.sys.phase <> None
+            && Asf.lock_load a ~core:ctx.core ctx.sys.phase_word <> 0
+          then Asf.self_abort a ~core:ctx.core (Abort.Explicit phase_change_code);
+          Engine.elapse ctx.sys.cfg.begin_abi_cycles);
+      let r = in_body ctx Hw (fun () -> with_cat ctx Stats.cat_app f) in
+      with_cat ctx Stats.cat_start_commit (fun () ->
+          Engine.elapse ctx.sys.cfg.commit_abi_cycles;
+          Asf.commit a ~core:ctx.core);
+      r
+    with
+    | r ->
+        Txmalloc.attempt_commit ctx.pool;
+        Stats.commit_attempt ctx.stats ~now:(now ctx) ~serial:false;
+        r
+    | exception Asf.Aborted reason -> (
+        Txmalloc.attempt_abort ctx.pool;
+        Stats.abort_attempt ctx.stats ~now:(now ctx) reason;
+        match reason with
+        | Abort.Page_fault page ->
+            (* Service the fault and retry: the access will then succeed
+               (no retry-budget charge; the fault is not contention). *)
+            ctx.pending_fault <- Some page;
+            asf_attempt ctx f retries
+        | Abort.Capacity when ctx.sys.phase <> None ->
+            (* PhasedTM fallback: a capacity overflow moves the whole
+               system into the software phase instead of serialising. *)
+            switch_to_sw ctx;
+            phased_dispatch ctx f
+        | Abort.Explicit c when c = phase_change_code ->
+            phased_dispatch ctx f
+        | Abort.Capacity | Abort.Malloc | Abort.Syscall | Abort.Disallowed ->
+            (* The paper's policy: capacity overflows (and transactions the
+               hardware cannot run) restart directly in serial mode. *)
+            run_serial ctx f
+        | Abort.Contention | Abort.Interrupt | Abort.Tlb_miss | Abort.Explicit _ ->
+            do_backoff ctx retries;
+            asf_attempt ctx f (retries + 1))
+  end
+
+and phase_of ctx =
+  match ctx.sys.phase with Some p -> p | None -> assert false
+
+and switch_to_sw ctx =
+  let ps = phase_of ctx in
+  if ps.current_phase = `Hw then
+    with_cat ctx Stats.cat_start_commit (fun () ->
+        acquire_serial ctx;
+        (* Re-check under the lock: another thread may have switched. *)
+        if ps.current_phase = `Hw then begin
+          Memsys.store ctx.sys.mem ~core:ctx.core ctx.sys.phase_word 1;
+          ps.current_phase <- `Sw;
+          ps.sw_txns_left <- ctx.sys.cfg.phase_quantum;
+          ps.to_sw_switches <- ps.to_sw_switches + 1
+        end;
+        release_serial ctx)
+
+and switch_to_hw ctx =
+  (* Called by the thread that exhausted the software quantum: block new
+     software transactions, drain the in-flight ones, flip the phase. *)
+  let ps = phase_of ctx in
+  ps.transitioning <- true;
+  with_cat ctx Stats.cat_start_commit (fun () ->
+      let rec drain () =
+        if ps.active_stm > 0 then begin
+          Engine.elapse 200;
+          drain ()
+        end
+      in
+      drain ();
+      Memsys.store ctx.sys.mem ~core:ctx.core ctx.sys.phase_word 0;
+      ps.current_phase <- `Hw;
+      ps.to_hw_switches <- ps.to_hw_switches + 1;
+      ps.transitioning <- false)
+
+and stm_phased ctx f =
+  let ps = phase_of ctx in
+  if ps.transitioning then begin
+    Engine.elapse 200;
+    stm_phased ctx f
+  end
+  else if ps.current_phase <> `Sw then phased_dispatch ctx f
+  else begin
+    (* No [elapse] between the checks above and this increment, so entry
+       is atomic with respect to the drain in {!switch_to_hw}. *)
+    ps.active_stm <- ps.active_stm + 1;
+    let r =
+      Fun.protect
+        ~finally:(fun () -> ps.active_stm <- ps.active_stm - 1)
+        (fun () -> stm_attempt ctx f 0)
+    in
+    ps.sw_txns_left <- ps.sw_txns_left - 1;
+    if ps.sw_txns_left <= 0 && (not ps.transitioning) && ps.current_phase = `Sw then
+      switch_to_hw ctx;
+    r
+  end
+
+and phased_dispatch ctx f =
+  if (phase_of ctx).current_phase = `Hw then asf_attempt ctx f 0 else stm_phased ctx f
+
+(* ------------------------------------------------------------------ *)
+(* STM execution path                                                   *)
+(* ------------------------------------------------------------------ *)
+
+and stm_attempt ctx f retries =
+  let tx = the_tx ctx in
+  Stats.begin_attempt ctx.stats ~now:(now ctx);
+  Txmalloc.attempt_begin ctx.pool;
+  match
+    with_cat ctx Stats.cat_start_commit (fun () -> Stm.start tx);
+    let r = in_body ctx Stm_path (fun () -> with_cat ctx Stats.cat_app f) in
+    with_cat ctx Stats.cat_start_commit (fun () -> Stm.commit tx);
+    r
+  with
+  | r ->
+      Txmalloc.attempt_commit ctx.pool;
+      Stats.commit_attempt ctx.stats ~now:(now ctx) ~serial:false;
+      r
+  | exception Stm.Stm_abort ->
+      Txmalloc.attempt_abort ctx.pool;
+      Stats.abort_attempt ctx.stats ~now:(now ctx) Abort.Contention;
+      do_backoff ctx retries;
+      stm_attempt ctx f (retries + 1)
+
+(* ------------------------------------------------------------------ *)
+(* atomic                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let atomic ctx f =
+  if ctx.depth > 0 then f () (* flat nesting at the language level *)
+  else begin
+    (* Housekeeping outside any region: keep the speculative allocation
+       pool topped up (chunk refills are unsafe inside transactions). *)
+    if Txmalloc.refill ctx.pool then Engine.elapse 200;
+    match ctx.sys.cfg.mode with
+    | Seq_mode ->
+        (* Uninstrumented baseline; still counted as a committed
+           transaction so commit totals are comparable across modes. *)
+        Stats.begin_attempt ctx.stats ~now:(now ctx);
+        let r = in_body ctx Direct f in
+        Stats.commit_attempt ctx.stats ~now:(now ctx) ~serial:false;
+        r
+    | Stm_mode -> stm_attempt ctx f 0
+    | Asf_mode _ -> asf_attempt ctx f 0
+    | Phased_mode _ -> phased_dispatch ctx f
+  end
+
+let retry ctx =
+  match ctx.path with
+  | Hw -> Asf.abort_explicit (the_asf ctx) ~core:ctx.core ~code:1
+  | Stm_path -> Stm.abort (the_tx ctx)
+  | Serial -> invalid_arg "Tm.retry: serial-irrevocable transactions cannot retry"
+  | Direct -> invalid_arg "Tm.retry: outside a transaction"
+
+let irrevocable ctx =
+  match ctx.path with
+  | Hw -> Asf.self_abort (the_asf ctx) ~core:ctx.core Abort.Syscall
+  | Serial -> ()
+  | Stm_path ->
+      (* TinySTM's benchmarks never need irrevocability; treated as a
+         no-op for the STM baseline. *)
+      ()
+  | Direct -> invalid_arg "Tm.irrevocable: outside a transaction"
+
+(* ------------------------------------------------------------------ *)
+(* Setup helpers and thread management                                  *)
+(* ------------------------------------------------------------------ *)
+
+let setup_poke sys addr v = Memsys.poke sys.mem addr v
+
+let setup_peek sys addr = Memsys.peek sys.mem addr
+
+let setup_alloc sys words =
+  let addr = Alloc.alloc_lines sys.galloc words in
+  Tlb.map_range (Memsys.tlb sys.mem) addr (Addr.lines_of_words words * Addr.words_per_line);
+  addr
+
+let spawn sys ~core f =
+  let ctx = make_ctx sys ~core in
+  Engine.spawn sys.engine ~core (fun () -> f ctx);
+  ctx
+
+let run sys = Engine.run sys.engine
+
+let makespan sys = Engine.max_time sys.engine
+
+let phase_switches sys =
+  Option.map (fun ps -> (ps.to_sw_switches, ps.to_hw_switches)) sys.phase

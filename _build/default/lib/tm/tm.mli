@@ -1,0 +1,163 @@
+(** ASF-TM: the transactional-memory runtime.
+
+    This is the software layer the paper's DTMC compiler targets: it
+    implements the TM ABI ([atomic] + transactional [load]/[store]) on top
+    of either ASF speculative regions with a serial-irrevocable software
+    fallback, or the TinySTM baseline, or direct uninstrumented execution
+    (the "sequential" baseline).
+
+    The ASF execution path per attempt:
+    + service any page fault recorded by the previous abort;
+    + if the transaction exceeded its retry budget or hit a capacity /
+      malloc / syscall abort, run in serial-irrevocable mode under a global
+      lock that all hardware transactions monitor;
+    + otherwise wait for the serial lock to be free, SPECULATE, subscribe
+      to the serial lock with a transactional load, run the body with
+      transactional accesses, COMMIT;
+    + on abort, classify the reason (contention aborts back off
+      exponentially and retry; capacity and malloc aborts go serial, as in
+      the paper's study; page faults are serviced and retried).
+
+    Re-execution uses closure restart — the moral equivalent of the ABI's
+    software setjmp: the body must keep its mutable state in simulated
+    memory (or reinitialise host state at the top of the closure). *)
+
+type mode =
+  | Asf_mode of Asf_core.Variant.t
+  | Stm_mode
+  | Seq_mode  (** uninstrumented; for the sequential baseline *)
+  | Phased_mode of Asf_core.Variant.t
+      (** PhasedTM-style hybrid (the "more elaborate fallback" of the
+          paper's Section 3.2): runs hardware transactions like
+          [Asf_mode], but a capacity overflow switches the whole system
+          into a software (TinySTM) phase for [phase_quantum]
+          transactions instead of serialising; malloc/syscall aborts
+          still use the serial-irrevocable path. *)
+
+type config = {
+  mode : mode;
+  n_cores : int;
+  params : Asf_machine.Params.t;
+  seed : int;
+  max_retries : int;  (** contention retries before serial fallback *)
+  backoff : bool;  (** exponential back-off after contention aborts *)
+  selective_annotation : bool;  (** when off, {!nload}/{!nstore} are
+                                    treated as transactional (ablation) *)
+  abort_on_tlb_miss : bool;  (** Rock-style ablation *)
+  requester_wins : bool;  (** ASF's contention policy; [false] is the
+                              requester-loses ablation *)
+  begin_abi_cycles : int;  (** software begin cost (setjmp, descriptor) *)
+  commit_abi_cycles : int;
+  malloc_cycles : int;
+  phase_quantum : int;  (** [Phased_mode]: software-phase length in
+                            transactions *)
+  stm_strategy : Asf_stm.Tinystm.strategy;
+      (** versioning of the STM baseline; the paper uses write-through *)
+}
+
+val default_config : mode -> n_cores:int -> config
+
+type system
+
+type ctx
+(** Per-thread execution context (one per core in the benchmarks). *)
+
+val create : config -> system
+
+val engine : system -> Asf_engine.Engine.t
+
+val memsys : system -> Asf_cache.Memsys.t
+
+val alloc : system -> Asf_mem.Alloc.t
+
+val config : system -> config
+
+val asf : system -> Asf_core.Asf.t option
+
+val stm : system -> Asf_stm.Tinystm.t option
+
+val make_ctx : system -> core:int -> ctx
+
+val core : ctx -> int
+
+val system : ctx -> system
+
+val prng : ctx -> Asf_engine.Prng.t
+
+val stats : ctx -> Stats.t
+
+val now : ctx -> int
+(** Current cycle on this context's core. *)
+
+(** {1 Transactions} *)
+
+val atomic : ctx -> (unit -> 'a) -> 'a
+(** Run the body as a transaction (flat-nested if already inside one). *)
+
+val load : ctx -> Asf_mem.Addr.t -> int
+(** Transactional load (inside [atomic]); direct load outside. *)
+
+val store : ctx -> Asf_mem.Addr.t -> int -> unit
+
+val nload : ctx -> Asf_mem.Addr.t -> int
+(** Non-transactional (selectively annotated) load: thread-local data that
+    needs no protection — consumes no ASF capacity. *)
+
+val nstore : ctx -> Asf_mem.Addr.t -> int -> unit
+
+val release : ctx -> Asf_mem.Addr.t -> unit
+(** Early release of a read-set line (ASF path only; no-op otherwise). *)
+
+val work : ctx -> int -> unit
+(** Charge [n] cycles of application compute. *)
+
+val in_tx : ctx -> bool
+
+val serial_mode : ctx -> bool
+(** Is this context currently executing in serial-irrevocable mode? *)
+
+val retry : ctx -> 'a
+(** Explicitly abort and re-execute the current transaction (the ABI's
+    user-initiated retry; ASF's ABORT instruction). Used when application
+    validation fails, e.g. labyrinth's path revalidation. Never returns.
+    Must not be called in serial-irrevocable mode (which cannot observe
+    concurrent invalidation, so never needs to retry). *)
+
+val irrevocable : ctx -> unit
+(** Ensure the current transaction is serial-irrevocable (aborting the
+    hardware attempt with reason [Syscall] if necessary) — the ABI's
+    mechanism for external actions. Inside a transaction only. *)
+
+(** {1 Memory management} *)
+
+val malloc : ctx -> int -> Asf_mem.Addr.t
+(** Words, rounded up to whole cache lines (false-sharing padding). *)
+
+val free : ctx -> Asf_mem.Addr.t -> int -> unit
+(** [free ctx addr words]: deferred to commit inside transactions. *)
+
+(** {1 Setup (untimed)} *)
+
+val setup_poke : system -> Asf_mem.Addr.t -> int -> unit
+(** Untimed store that also maps the page (benchmark initialisation). *)
+
+val setup_peek : system -> Asf_mem.Addr.t -> int
+
+val setup_alloc : system -> int -> Asf_mem.Addr.t
+(** Untimed line-padded allocation from the global allocator, with pages
+    pre-mapped (setup-phase data structures are warm). *)
+
+(** {1 Running threads} *)
+
+val spawn : system -> core:int -> (ctx -> unit) -> ctx
+(** Spawns a worker thread with a fresh context on [core]; returns the
+    context so its statistics can be read after {!run}. *)
+
+val run : system -> unit
+
+val makespan : system -> int
+(** Max core time after {!run} (simulated execution time in cycles). *)
+
+val phase_switches : system -> (int * int) option
+(** [Phased_mode] only: (switches to software, switches back to
+    hardware). *)

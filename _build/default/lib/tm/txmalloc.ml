@@ -1,0 +1,129 @@
+module Addr = Asf_mem.Addr
+module Alloc = Asf_mem.Alloc
+
+type undo = Pop of int * Addr.t | Bump of int
+
+type t = {
+  galloc : Alloc.t;
+  chunk_words : int;
+  mutable chunk_base : Addr.t;
+  mutable chunk_size : int;
+  mutable chunk_used : int;
+  free_lists : (int, Addr.t list ref) Hashtbl.t;
+  mutable undo : undo list;
+  mutable deferred : (Addr.t * int) list;
+}
+
+let create ?(chunk_words = 4096) galloc =
+  {
+    galloc;
+    chunk_words;
+    chunk_base = 0;
+    chunk_size = 0;
+    chunk_used = 0;
+    free_lists = Hashtbl.create 16;
+    undo = [];
+    deferred = [];
+  }
+
+let rounded words = Addr.lines_of_words words * Addr.words_per_line
+
+let free_list t size =
+  match Hashtbl.find_opt t.free_lists size with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.add t.free_lists size l;
+      l
+
+let new_chunk t =
+  t.chunk_base <- Alloc.alloc t.galloc ~align:Addr.words_per_line t.chunk_words;
+  t.chunk_size <- t.chunk_words;
+  t.chunk_used <- 0
+
+let chunk_remaining t = t.chunk_size - t.chunk_used
+
+let refill t =
+  if chunk_remaining t < t.chunk_words / 4 then begin
+    new_chunk t;
+    true
+  end
+  else false
+
+let attempt_begin t =
+  t.undo <- [];
+  t.deferred <- []
+
+let attempt_abort t =
+  List.iter
+    (function
+      | Pop (size, addr) ->
+          let l = free_list t size in
+          l := addr :: !l
+      | Bump old -> t.chunk_used <- old)
+    t.undo;
+  t.undo <- [];
+  t.deferred <- []
+
+let attempt_commit t =
+  List.iter
+    (fun (addr, size) ->
+      let l = free_list t (rounded size) in
+      l := addr :: !l)
+    t.deferred;
+  t.undo <- [];
+  t.deferred <- []
+
+let pop_free t size =
+  let l = free_list t size in
+  match !l with
+  | addr :: rest ->
+      l := rest;
+      Some addr
+  | [] -> None
+
+let bump t size =
+  if chunk_remaining t >= size then begin
+    let addr = t.chunk_base + t.chunk_used in
+    t.chunk_used <- t.chunk_used + size;
+    Some addr
+  end
+  else None
+
+let alloc_tx t words =
+  let size = rounded words in
+  match pop_free t size with
+  | Some addr ->
+      t.undo <- Pop (size, addr) :: t.undo;
+      Some addr
+  | None -> (
+      let old = t.chunk_used in
+      match bump t size with
+      | Some addr ->
+          t.undo <- Bump old :: t.undo;
+          Some addr
+      | None -> None)
+
+let alloc_direct t words =
+  let size = rounded words in
+  match pop_free t size with
+  | Some addr -> addr
+  | None -> (
+      match bump t size with
+      | Some addr -> addr
+      | None ->
+          if size > t.chunk_words / 2 then
+            (* Oversized request: straight to the global allocator. *)
+            Alloc.alloc t.galloc ~align:Addr.words_per_line size
+          else begin
+            new_chunk t;
+            match bump t size with
+            | Some addr -> addr
+            | None -> assert false
+          end)
+
+let free_tx t addr words = t.deferred <- (addr, words) :: t.deferred
+
+let free_direct t addr words =
+  let l = free_list t (rounded words) in
+  l := addr :: !l

@@ -1,0 +1,62 @@
+(** Transactional memory allocator (the ASF-TM custom [malloc]).
+
+    Executing the standard allocator inside a speculative region would be
+    unsafe: an asynchronous abort could leave its metadata half-updated.
+    ASF-TM therefore gives each thread a caching allocator whose
+    in-transaction operations touch only thread-local state that can be
+    rolled back:
+
+    - allocations pop a size-class free list or bump the current chunk;
+      both are undone on abort;
+    - frees are deferred to commit (and dropped on abort);
+    - chunk refills call the global allocator and are performed only
+      {e outside} transactions; if an in-transaction allocation cannot be
+      satisfied, the caller must abort with reason [Malloc] and let the
+      serial-irrevocable retry allocate directly ("Abort (malloc)" in the
+      paper's Fig. 6).
+
+    Fresh chunks are address-space reservations: their pages stay unmapped
+    until first touch, so initialising a freshly allocated node inside a
+    transaction can raise a page-fault abort — the dominant abort cause for
+    the hash-set benchmark in Table 1.
+
+    All block sizes are rounded up to whole cache lines (the padding the
+    paper applies to avoid false-sharing aborts). *)
+
+type t
+
+val create : ?chunk_words:int -> Asf_mem.Alloc.t -> t
+(** One pool per thread; [chunk_words] (default 4096) is the refill
+    granularity. *)
+
+val refill : t -> bool
+(** Top up the chunk from the global allocator if it runs low. Must be
+    called outside transactions (the runtime does, at [atomic] entry).
+    Returns whether a refill happened (so the caller can charge cycles). *)
+
+(** {1 Attempt lifecycle} *)
+
+val attempt_begin : t -> unit
+
+val attempt_abort : t -> unit
+(** Undo the attempt's pops and bumps; drop deferred frees. *)
+
+val attempt_commit : t -> unit
+(** Apply deferred frees to the free lists. *)
+
+(** {1 Operations} *)
+
+val alloc_tx : t -> int -> Asf_mem.Addr.t option
+(** In-transaction allocation; [None] means the pool cannot satisfy it
+    speculatively (caller must Malloc-abort). *)
+
+val alloc_direct : t -> int -> Asf_mem.Addr.t
+(** Serial / non-transactional allocation; may refill inline. *)
+
+val free_tx : t -> Asf_mem.Addr.t -> int -> unit
+(** [free_tx t addr words] defers the free to commit. *)
+
+val free_direct : t -> Asf_mem.Addr.t -> int -> unit
+
+val chunk_remaining : t -> int
+(** Words left in the current bump chunk (diagnostics). *)

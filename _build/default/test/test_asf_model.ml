@@ -1,0 +1,168 @@
+(* Executable-specification test for a single ASF region: random
+   instruction sequences (speculative and plain accesses, watches,
+   releases, ending in COMMIT or ABORT) are run both on the hardware
+   model and on a direct transcription of the specification's memory
+   semantics; every load value and the final memory image must agree.
+
+   The key semantics exercised:
+   - speculative stores are undone by ABORT, line-granular, restoring the
+     line image captured when it first joined the write set;
+   - plain (selectively annotated) stores are NOT undone by ABORT;
+   - a plain store to a speculatively-written line faults and does not
+     execute;
+   - WATCHW joins the write set (so a later plain store to it faults);
+   - RELEASE drops read-only lines but never written ones. *)
+
+module Engine = Asf_engine.Engine
+module Params = Asf_machine.Params
+module Addr = Asf_mem.Addr
+module Memsys = Asf_cache.Memsys
+module Variant = Asf_core.Variant
+module Asf = Asf_core.Asf
+
+type op =
+  | Lock_load of int
+  | Lock_store of int * int
+  | Plain_load of int
+  | Plain_store of int * int
+  | Watchr of int
+  | Watchw of int
+  | Release of int
+
+let n_words = 128 (* 16 lines *)
+
+let op_gen =
+  QCheck.Gen.(
+    let addr = int_range 0 (n_words - 1) in
+    let value = int_range 1 1000 in
+    oneof
+      [
+        map (fun a -> Lock_load a) addr;
+        map2 (fun a v -> Lock_store (a, v)) addr value;
+        map (fun a -> Plain_load a) addr;
+        map2 (fun a v -> Plain_store (a, v)) addr value;
+        map (fun a -> Watchr a) addr;
+        map (fun a -> Watchw a) addr;
+        map (fun a -> Release a) addr;
+      ])
+
+let scenario_gen = QCheck.Gen.(pair (list_size (int_range 1 60) op_gen) bool)
+
+let print_scenario (ops, commit) =
+  let op_str = function
+    | Lock_load a -> Printf.sprintf "LL %d" a
+    | Lock_store (a, v) -> Printf.sprintf "LS %d<-%d" a v
+    | Plain_load a -> Printf.sprintf "PL %d" a
+    | Plain_store (a, v) -> Printf.sprintf "PS %d<-%d" a v
+    | Watchr a -> Printf.sprintf "WR %d" a
+    | Watchw a -> Printf.sprintf "WW %d" a
+    | Release a -> Printf.sprintf "REL %d" a
+  in
+  String.concat "; " (List.map op_str ops)
+  ^ if commit then " COMMIT" else " ABORT"
+
+(* The specification model. *)
+module Model = struct
+  type t = {
+    mem : int array;
+    backups : (int, int array) Hashtbl.t;  (* line -> image at first write *)
+    mutable written : int list;
+  }
+
+  let create initial =
+    { mem = Array.copy initial; backups = Hashtbl.create 8; written = [] }
+
+  let line_written t line = List.mem line t.written
+
+  let join_write_set t line =
+    if not (line_written t line) then begin
+      Hashtbl.replace t.backups line
+        (Array.sub t.mem (Addr.line_base line) Addr.words_per_line);
+      t.written <- line :: t.written
+    end
+
+  (* Returns the value a load observes, or the store/fault outcome. *)
+  let apply t = function
+    | Lock_load a | Plain_load a -> `Value t.mem.(a)
+    | Lock_store (a, v) ->
+        join_write_set t (Addr.line_of a);
+        t.mem.(a) <- v;
+        `Stored
+    | Plain_store (a, v) ->
+        if line_written t (Addr.line_of a) then `Fault
+        else begin
+          t.mem.(a) <- v;
+          `Stored
+        end
+    | Watchr _ -> `Stored
+    | Watchw a ->
+        join_write_set t (Addr.line_of a);
+        `Stored
+    | Release _ -> `Stored
+
+  let finish t ~commit =
+    if not commit then
+      Hashtbl.iter
+        (fun line image ->
+          Array.blit image 0 t.mem (Addr.line_base line) Addr.words_per_line)
+        t.backups;
+    t.mem
+end
+
+let run_hardware initial ops ~commit =
+  let e = Engine.create ~n_cores:1 in
+  let m = Memsys.create Params.barcelona e in
+  let a = Asf.create m Variant.llb256 in
+  Array.iteri (fun i v -> Memsys.poke m i v) initial;
+  let observations = ref [] in
+  let observe x = observations := x :: !observations in
+  Engine.spawn e ~core:0 (fun () ->
+      Asf.speculate a ~core:0;
+      List.iter
+        (fun op ->
+          match op with
+          | Lock_load addr -> observe (`Value (Asf.lock_load a ~core:0 addr))
+          | Lock_store (addr, v) ->
+              Asf.lock_store a ~core:0 addr v;
+              observe `Stored
+          | Plain_load addr -> observe (`Value (Asf.plain_load a ~core:0 addr))
+          | Plain_store (addr, v) -> (
+              try
+                Asf.plain_store a ~core:0 addr v;
+                observe `Stored
+              with Asf.Colocation_fault _ -> observe `Fault)
+          | Watchr addr ->
+              Asf.watchr a ~core:0 addr;
+              observe `Stored
+          | Watchw addr ->
+              Asf.watchw a ~core:0 addr;
+              observe `Stored
+          | Release addr ->
+              Asf.release a ~core:0 addr;
+              observe `Stored)
+        ops;
+      if commit then Asf.commit a ~core:0
+      else try Asf.abort_explicit a ~core:0 ~code:7 with Asf.Aborted _ -> ());
+  Engine.run e;
+  let final = Array.init n_words (fun i -> Memsys.peek m i) in
+  (List.rev !observations, final)
+
+let prop_region_matches_model =
+  QCheck.Test.make ~name:"ASF region semantics match the specification model"
+    ~count:300
+    (QCheck.make ~print:print_scenario scenario_gen)
+    (fun (ops, commit) ->
+      let initial = Array.init n_words (fun i -> 10_000 + i) in
+      let model = Model.create initial in
+      let expected_obs = List.map (Model.apply model) ops in
+      let expected_mem = Model.finish model ~commit in
+      let got_obs, got_mem = run_hardware initial ops ~commit in
+      if got_obs <> expected_obs then
+        QCheck.Test.fail_report "observation mismatch"
+      else if got_mem <> expected_mem then
+        QCheck.Test.fail_report "final memory mismatch"
+      else true)
+
+let () =
+  Alcotest.run "asf-model"
+    [ ("spec", [ QCheck_alcotest.to_alcotest prop_region_matches_model ]) ]

@@ -1,0 +1,326 @@
+(* Tests for the cache directory model, TLB, hierarchy coherence, and the
+   Memsys timed facade. *)
+
+module Engine = Asf_engine.Engine
+module Params = Asf_machine.Params
+module Addr = Asf_mem.Addr
+module Cache = Asf_cache.Cache
+module Tlb = Asf_cache.Tlb
+module Hierarchy = Asf_cache.Hierarchy
+module Memsys = Asf_cache.Memsys
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_hit_miss () =
+  let c = Cache.create ~sets:4 ~assoc:2 in
+  let hit, ev = Cache.touch c 0 in
+  Alcotest.(check bool) "first access misses" false hit;
+  Alcotest.(check (option int)) "no eviction on cold fill" None ev;
+  let hit, _ = Cache.touch c 0 in
+  Alcotest.(check bool) "second access hits" true hit
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~sets:1 ~assoc:2 in
+  ignore (Cache.touch c 10);
+  ignore (Cache.touch c 20);
+  ignore (Cache.touch c 10) (* 20 is now LRU *);
+  let _, ev = Cache.touch c 30 in
+  Alcotest.(check (option int)) "LRU way evicted" (Some 20) ev;
+  Alcotest.(check bool) "10 survives" true (Cache.mem c 10);
+  Alcotest.(check bool) "20 gone" false (Cache.mem c 20)
+
+let test_cache_set_isolation () =
+  let c = Cache.create ~sets:4 ~assoc:1 in
+  (* Keys 0 and 4 share set 0; key 1 lives in set 1. *)
+  ignore (Cache.touch c 0);
+  ignore (Cache.touch c 1);
+  let _, ev = Cache.touch c 4 in
+  Alcotest.(check (option int)) "conflict in set 0" (Some 0) ev;
+  Alcotest.(check bool) "set 1 untouched" true (Cache.mem c 1)
+
+let test_cache_invalidate () =
+  let c = Cache.create ~sets:2 ~assoc:2 in
+  ignore (Cache.touch c 5);
+  Alcotest.(check bool) "present removed" true (Cache.invalidate c 5);
+  Alcotest.(check bool) "absent not removed" false (Cache.invalidate c 5)
+
+let prop_cache_vs_reference_lru =
+  (* Compare the cache against a straightforward per-set LRU list model. *)
+  QCheck.Test.make ~name:"cache matches reference LRU model" ~count:100
+    QCheck.(list (int_range 0 63))
+    (fun keys ->
+      let sets = 4 and assoc = 3 in
+      let c = Cache.create ~sets ~assoc in
+      let model = Array.make sets [] in
+      List.for_all
+        (fun k ->
+          let s = k land (sets - 1) in
+          let hit_model = List.mem k model.(s) in
+          let hit, _ = Cache.touch c k in
+          let l = k :: List.filter (fun x -> x <> k) model.(s) in
+          model.(s) <- (if List.length l > assoc then List.filteri (fun i _ -> i < assoc) l else l);
+          hit = hit_model)
+        keys)
+
+(* ------------------------------------------------------------------ *)
+(* TLB                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_tlb_fault_then_hit () =
+  let p = Params.barcelona in
+  let t = Tlb.create p ~n_cores:1 in
+  (match Tlb.translate t ~core:0 1000 ~speculative:false with
+  | Tlb.Fault page -> Alcotest.(check int) "faults on unmapped" (Addr.page_of 1000) page
+  | _ -> Alcotest.fail "expected fault");
+  Tlb.map_page t (Addr.page_of 1000);
+  (match Tlb.translate t ~core:0 1000 ~speculative:false with
+  | Tlb.Translated extra ->
+      Alcotest.(check int) "page walk cost" p.page_walk_latency extra
+  | _ -> Alcotest.fail "expected walk");
+  match Tlb.translate t ~core:0 1001 ~speculative:false with
+  | Tlb.Translated extra -> Alcotest.(check int) "L1 TLB hit free" 0 extra
+  | _ -> Alcotest.fail "expected hit"
+
+let test_tlb_rock_ablation () =
+  let p = Params.barcelona in
+  let t = Tlb.create p ~n_cores:1 in
+  Tlb.set_abort_on_tlb_miss t true;
+  Tlb.map_page t 0;
+  (* Miss, speculative: Rock-style abort. *)
+  (match Tlb.translate t ~core:0 5 ~speculative:true with
+  | Tlb.Tlb_miss_abort _ -> ()
+  | _ -> Alcotest.fail "expected Rock-style abort");
+  (* Non-speculative accesses are unaffected. *)
+  match Tlb.translate t ~core:0 5 ~speculative:false with
+  | Tlb.Translated _ -> ()
+  | _ -> Alcotest.fail "expected translation"
+
+let test_tlb_map_range () =
+  let t = Tlb.create Params.barcelona ~n_cores:1 in
+  Tlb.map_range t 500 100 (* crosses the page boundary at word 512 *);
+  Alcotest.(check bool) "first page" true (Tlb.page_mapped t 0);
+  Alcotest.(check bool) "second page" true (Tlb.page_mapped t 1);
+  Alcotest.(check int) "exactly two" 2 (Tlb.mapped_pages t)
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_hierarchy_latencies () =
+  let p = Params.barcelona in
+  let h = Hierarchy.create p ~n_cores:2 in
+  let lat1 = Hierarchy.access h ~core:0 ~line:7 ~write:false in
+  Alcotest.(check int) "cold miss pays RAM" p.mem_latency lat1;
+  let lat2 = Hierarchy.access h ~core:0 ~line:7 ~write:false in
+  Alcotest.(check int) "then L1 hit" p.l1_latency lat2
+
+let test_hierarchy_invalidation () =
+  let p = Params.barcelona in
+  let h = Hierarchy.create p ~n_cores:2 in
+  ignore (Hierarchy.access h ~core:0 ~line:9 ~write:false);
+  Alcotest.(check bool) "in core 0 L1" true (Hierarchy.line_in_l1 h ~core:0 ~line:9);
+  let lat = Hierarchy.access h ~core:1 ~line:9 ~write:true in
+  Alcotest.(check bool) "write probe costs extra" true (lat > p.l1_latency);
+  Alcotest.(check bool) "invalidated from core 0" false
+    (Hierarchy.line_in_l1 h ~core:0 ~line:9);
+  Alcotest.(check int) "one invalidation" 1 (Hierarchy.invalidations h)
+
+let test_hierarchy_remote_dirty_forward () =
+  let p = Params.barcelona in
+  let h = Hierarchy.create p ~n_cores:2 in
+  ignore (Hierarchy.access h ~core:0 ~line:3 ~write:true);
+  (* Core 1 read misses everywhere local but the line is dirty at core 0:
+     cache-to-cache forward plus probe. *)
+  let lat = Hierarchy.access h ~core:1 ~line:3 ~write:false in
+  Alcotest.(check int) "forward + probe"
+    (p.l3_latency + p.coherence_probe_latency) lat
+
+let test_hierarchy_cross_socket () =
+  let p = { Params.dual_socket with Params.ooo_factor = 1.0 } in
+  let h = Hierarchy.create p ~n_cores:4 in
+  (* Cores 0-1 on socket 0, cores 2-3 on socket 1. Core 0 dirties a line;
+     a read from core 1 (same socket) is cheaper than from core 2. *)
+  ignore (Hierarchy.access h ~core:0 ~line:5 ~write:true);
+  let same = Hierarchy.access h ~core:1 ~line:5 ~write:false in
+  ignore (Hierarchy.access h ~core:0 ~line:6 ~write:true);
+  let cross = Hierarchy.access h ~core:2 ~line:6 ~write:false in
+  Alcotest.(check int) "same-socket forward"
+    (p.Params.l3_latency + p.Params.coherence_probe_latency) same;
+  Alcotest.(check int) "cross-socket forward adds the hop"
+    (p.Params.l3_latency + p.Params.coherence_probe_latency
+    + p.Params.cross_socket_latency)
+    cross;
+  Alcotest.(check bool) "cross probes counted" true
+    (Hierarchy.cross_socket_probes h >= 1)
+
+let test_hierarchy_per_socket_l3 () =
+  let p = Params.dual_socket in
+  let h = Hierarchy.create p ~n_cores:4 in
+  (* Core 0 warms its socket's L3; core 2 (other socket) still misses to
+     RAM after its own L1/L2 are cold and its L3 was never filled. *)
+  ignore (Hierarchy.access h ~core:0 ~line:9 ~write:false);
+  let other = Hierarchy.access h ~core:2 ~line:9 ~write:false in
+  Alcotest.(check int) "other socket misses to RAM" p.Params.mem_latency other
+
+let test_hierarchy_evict_hook () =
+  let p = Params.barcelona in
+  let h = Hierarchy.create p ~n_cores:1 in
+  let evicted = ref [] in
+  Hierarchy.set_evict_hook h ~core:0 (fun l -> evicted := l :: !evicted);
+  (* L1: 64KB/2-way/64B lines -> 512 sets. Lines l and l+512 share a set;
+     three distinct lines in one set with assoc 2 must evict one. *)
+  ignore (Hierarchy.access h ~core:0 ~line:0 ~write:false);
+  ignore (Hierarchy.access h ~core:0 ~line:512 ~write:false);
+  ignore (Hierarchy.access h ~core:0 ~line:1024 ~write:false);
+  Alcotest.(check (list int)) "LRU line 0 displaced" [ 0 ] !evicted
+
+(* ------------------------------------------------------------------ *)
+(* Memsys                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let with_thread f =
+  (* Run [f] inside a single simulated thread and return (result, cycles). *)
+  let e = Engine.create ~n_cores:2 in
+  let result = ref None in
+  Engine.spawn e ~core:0 (fun () -> result := Some (f e));
+  Engine.run e;
+  (Option.get !result, Engine.core_time e 0)
+
+let test_memsys_load_store () =
+  let (), cycles =
+    with_thread (fun e ->
+        let m = Memsys.create Params.barcelona e in
+        Memsys.store m ~core:0 100 42;
+        let v = Memsys.load m ~core:0 100 in
+        Alcotest.(check int) "value round trip" 42 v)
+  in
+  Alcotest.(check bool) "time charged" true (cycles > 0)
+
+let test_memsys_fault_serviced_outside_region () =
+  let (), _ =
+    with_thread (fun e ->
+        let m = Memsys.create Params.barcelona e in
+        (* No fault hook: the OS services the first touch transparently. *)
+        let v = Memsys.load m ~core:0 9999 in
+        Alcotest.(check int) "zero fill after fault" 0 v;
+        Alcotest.(check int) "one fault serviced" 1 (Memsys.faults_serviced m))
+  in
+  ()
+
+let test_memsys_fault_hook_raises () =
+  let exception Region_abort of int in
+  let (), _ =
+    with_thread (fun e ->
+        let m = Memsys.create Params.barcelona e in
+        Memsys.set_fault_hook m (fun ~core:_ fault ->
+            match fault with
+            | Memsys.Unmapped page -> raise (Region_abort page)
+            | Memsys.Tlb_miss -> ());
+        (try
+           ignore (Memsys.load m ~core:0 777777);
+           Alcotest.fail "expected abort"
+         with Region_abort page ->
+           Alcotest.(check int) "page reported" (Addr.page_of 777777) page);
+        Alcotest.(check int) "not serviced by OS" 0 (Memsys.faults_serviced m);
+        (* The runtime then services it explicitly and the retry succeeds. *)
+        Memsys.service_fault m ~page:(Addr.page_of 777777);
+        Alcotest.(check int) "retry ok" 0 (Memsys.load m ~core:0 777777))
+  in
+  ()
+
+let test_memsys_cas () =
+  let (), _ =
+    with_thread (fun e ->
+        let m = Memsys.create Params.barcelona e in
+        Memsys.poke m 50 5;
+        Alcotest.(check bool) "cas fails on mismatch" false
+          (Memsys.cas m ~core:0 50 ~expect:4 ~value:9);
+        Alcotest.(check int) "unchanged" 5 (Memsys.peek m 50);
+        Alcotest.(check bool) "cas succeeds" true
+          (Memsys.cas m ~core:0 50 ~expect:5 ~value:9);
+        Alcotest.(check int) "swapped" 9 (Memsys.peek m 50))
+  in
+  ()
+
+let test_memsys_faa () =
+  let (), _ =
+    with_thread (fun e ->
+        let m = Memsys.create Params.barcelona e in
+        Memsys.poke m 60 10;
+        Alcotest.(check int) "returns previous" 10 (Memsys.faa m ~core:0 60 3);
+        Alcotest.(check int) "added" 13 (Memsys.peek m 60))
+  in
+  ()
+
+let test_memsys_probe_hook_order () =
+  (* The probe hook must fire before the access takes effect: it observes
+     the pre-access RAM value. *)
+  let (), _ =
+    with_thread (fun e ->
+        let m = Memsys.create Params.barcelona e in
+        Memsys.poke m 80 1;
+        let seen = ref (-1) in
+        Memsys.set_probe_hook m (fun ~requester:_ ~line ~write ->
+            if line = Addr.line_of 80 && write then seen := Memsys.peek m 80);
+        Memsys.store m ~core:0 80 2;
+        Alcotest.(check int) "hook saw old value" 1 !seen)
+  in
+  ()
+
+let test_memsys_hot_cold_timing () =
+  let (), _ =
+    with_thread (fun e ->
+        let m = Memsys.create Params.barcelona e in
+        Memsys.poke m 200 0;
+        let t0 = Engine.core_time e 0 in
+        ignore (Memsys.load m ~core:0 200);
+        let cold = Engine.core_time e 0 - t0 in
+        let t1 = Engine.core_time e 0 in
+        ignore (Memsys.load m ~core:0 200);
+        let hot = Engine.core_time e 0 - t1 in
+        Alcotest.(check bool)
+          (Printf.sprintf "cold (%d) slower than hot (%d)" cold hot)
+          true (cold > hot))
+  in
+  ()
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "cache"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "set isolation" `Quick test_cache_set_isolation;
+          Alcotest.test_case "invalidate" `Quick test_cache_invalidate;
+          q prop_cache_vs_reference_lru;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "fault then hit" `Quick test_tlb_fault_then_hit;
+          Alcotest.test_case "rock ablation" `Quick test_tlb_rock_ablation;
+          Alcotest.test_case "map range" `Quick test_tlb_map_range;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "latencies" `Quick test_hierarchy_latencies;
+          Alcotest.test_case "invalidation" `Quick test_hierarchy_invalidation;
+          Alcotest.test_case "dirty forward" `Quick test_hierarchy_remote_dirty_forward;
+          Alcotest.test_case "cross socket" `Quick test_hierarchy_cross_socket;
+          Alcotest.test_case "per-socket L3" `Quick test_hierarchy_per_socket_l3;
+          Alcotest.test_case "evict hook" `Quick test_hierarchy_evict_hook;
+        ] );
+      ( "memsys",
+        [
+          Alcotest.test_case "load/store" `Quick test_memsys_load_store;
+          Alcotest.test_case "fault service" `Quick test_memsys_fault_serviced_outside_region;
+          Alcotest.test_case "fault hook" `Quick test_memsys_fault_hook_raises;
+          Alcotest.test_case "cas" `Quick test_memsys_cas;
+          Alcotest.test_case "faa" `Quick test_memsys_faa;
+          Alcotest.test_case "probe order" `Quick test_memsys_probe_hook_order;
+          Alcotest.test_case "hot vs cold" `Quick test_memsys_hot_cold_timing;
+        ] );
+    ]

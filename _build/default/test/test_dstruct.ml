@@ -1,0 +1,365 @@
+(* Tests for the transactional data structures: sequential equivalence
+   against OCaml's Set/Map (qcheck), red-black-tree invariants, and
+   concurrent correctness under all TM modes (including early release). *)
+
+module Prng = Asf_engine.Prng
+module Variant = Asf_core.Variant
+module Tm = Asf_tm_rt.Tm
+module Ops = Asf_dstruct.Ops
+module Tlist = Asf_dstruct.Tlist
+module Tskiplist = Asf_dstruct.Tskiplist
+module Trbtree = Asf_dstruct.Trbtree
+module Thashmap = Asf_dstruct.Thashmap
+module Thashset = Asf_dstruct.Thashset
+module Tqueue = Asf_dstruct.Tqueue
+module IntSet = Set.Make (Int)
+module IntMap = Map.Make (Int)
+
+(* A sequential-mode system: setup ops need a live allocator but no
+   engine thread. *)
+let setup_ops () =
+  let sys = Tm.create (Tm.default_config Tm.Seq_mode ~n_cores:1) in
+  Ops.setup sys
+
+type set_ops = {
+  name : string;
+  contains : Ops.t -> int -> bool;
+  add : Ops.t -> int -> bool;
+  remove : Ops.t -> int -> bool;
+  elements : Ops.t -> int list;
+}
+
+let list_set o =
+  let t = Tlist.create o in
+  {
+    name = "linked-list";
+    contains = (fun o k -> Tlist.contains o t k);
+    add = (fun o k -> Tlist.add o t k);
+    remove = (fun o k -> Tlist.remove o t k);
+    elements = (fun o -> Tlist.to_list o t);
+  }
+
+let skiplist_set o =
+  let t = Tskiplist.create o () in
+  {
+    name = "skip-list";
+    contains = (fun o k -> Tskiplist.contains o t k);
+    add = (fun o k -> Tskiplist.add o t k);
+    remove = (fun o k -> Tskiplist.remove o t k);
+    elements = (fun o -> Tskiplist.to_list o t);
+  }
+
+let rbtree_set o =
+  let t = Trbtree.create o in
+  {
+    name = "rb-tree";
+    contains = (fun o k -> Trbtree.mem o t k);
+    add = (fun o k -> Trbtree.insert o t k 0);
+    remove = (fun o k -> Trbtree.remove o t k);
+    elements = (fun o -> List.map fst (Trbtree.to_list o t));
+  }
+
+let hashset_set o =
+  let t = Thashset.create o ~buckets:64 in
+  {
+    name = "hash-set";
+    contains = (fun o k -> Thashset.contains o t k);
+    add = (fun o k -> Thashset.add o t k);
+    remove = (fun o k -> Thashset.remove o t k);
+    elements = (fun o -> List.sort compare (Thashset.to_list o t));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sequential equivalence with Set.Make(Int)                            *)
+(* ------------------------------------------------------------------ *)
+
+type op = Add of int | Remove of int | Contains of int
+
+let op_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun k -> Add k) (int_range 0 200);
+        map (fun k -> Remove k) (int_range 0 200);
+        map (fun k -> Contains k) (int_range 0 200);
+      ])
+
+let arb_ops = QCheck.make ~print:(fun l -> string_of_int (List.length l) ^ " ops")
+    QCheck.Gen.(list_size (int_range 0 300) op_gen)
+
+let sequential_matches_model mk_set ops =
+  let o = setup_ops () in
+  let s = mk_set o in
+  let model = ref IntSet.empty in
+  List.for_all
+    (fun op ->
+      match op with
+      | Add k ->
+          let expected = not (IntSet.mem k !model) in
+          model := IntSet.add k !model;
+          s.add o k = expected
+      | Remove k ->
+          let expected = IntSet.mem k !model in
+          model := IntSet.remove k !model;
+          s.remove o k = expected
+      | Contains k -> s.contains o k = IntSet.mem k !model)
+    ops
+  && s.elements o = IntSet.elements !model
+
+let prop_set_matches name mk_set =
+  QCheck.Test.make ~name:(name ^ " matches Set model") ~count:100 arb_ops
+    (sequential_matches_model mk_set)
+
+let prop_rbtree_invariants =
+  QCheck.Test.make ~name:"rb-tree invariants hold after random ops" ~count:100
+    arb_ops
+    (fun ops ->
+      let o = setup_ops () in
+      let t = Trbtree.create o in
+      List.iter
+        (fun op ->
+          match op with
+          | Add k -> ignore (Trbtree.insert o t k (k * 2))
+          | Remove k -> ignore (Trbtree.remove o t k)
+          | Contains k -> ignore (Trbtree.mem o t k))
+        ops;
+      match Trbtree.check_invariants o t with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+let prop_hashmap_matches_model =
+  QCheck.Test.make ~name:"hash map matches Map model" ~count:100 arb_ops
+    (fun ops ->
+      let o = setup_ops () in
+      let t = Thashmap.create o ~buckets:32 in
+      let model = ref IntMap.empty in
+      List.for_all
+        (fun op ->
+          match op with
+          | Add k ->
+              Thashmap.put o t k (k * 3);
+              model := IntMap.add k (k * 3) !model;
+              Thashmap.get o t k = Some (k * 3)
+          | Remove k ->
+              let expected = IntMap.mem k !model in
+              model := IntMap.remove k !model;
+              Thashmap.remove o t k = expected
+          | Contains k -> Thashmap.get o t k = IntMap.find_opt k !model)
+        ops
+      && Thashmap.size o t = IntMap.cardinal !model)
+
+let prop_queue_fifo =
+  QCheck.Test.make ~name:"queue is FIFO" ~count:100
+    QCheck.(list (int_range 0 1000))
+    (fun xs ->
+      let o = setup_ops () in
+      let q = Tqueue.create o in
+      List.iter (fun x -> Tqueue.enqueue o q x) xs;
+      let rec drain acc =
+        match Tqueue.dequeue o q with
+        | Some v -> drain (v :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = xs && Tqueue.is_empty o q)
+
+let test_rbtree_update () =
+  let o = setup_ops () in
+  let t = Trbtree.create o in
+  Alcotest.(check bool) "fresh insert" true (Trbtree.insert o t 5 50);
+  Alcotest.(check bool) "duplicate rejected" false (Trbtree.insert o t 5 99);
+  Alcotest.(check (option int)) "value kept" (Some 50) (Trbtree.find o t 5);
+  Trbtree.update o t 5 77;
+  Alcotest.(check (option int)) "upsert" (Some 77) (Trbtree.find o t 5)
+
+let test_skiplist_interleave_queue () =
+  let o = setup_ops () in
+  let q = Tqueue.create o in
+  Alcotest.(check (option int)) "empty" None (Tqueue.dequeue o q);
+  Tqueue.enqueue o q 1;
+  Tqueue.enqueue o q 2;
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Tqueue.dequeue o q);
+  Tqueue.enqueue o q 3;
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Tqueue.dequeue o q);
+  Alcotest.(check (option int)) "fifo 3" (Some 3) (Tqueue.dequeue o q);
+  Alcotest.(check (option int)) "empty again" None (Tqueue.dequeue o q)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent correctness                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [per_thread] random ops per thread on a shared structure and check
+   the linearizability-necessary balance equation per key:
+   successful adds - successful removes = final membership. *)
+let concurrent_balance mode ~early_release ~structure () =
+  let n_cores = 4 and per_thread = 60 and range = 32 in
+  let sys = Tm.create (Tm.default_config mode ~n_cores) in
+  let so = Ops.setup sys in
+  let handle_root, ops_of, contains, add, remove, elements =
+    match structure with
+    | `List ->
+        let t = Tlist.create so in
+        ( Tlist.root t,
+          (fun ctx -> if early_release then Ops.tx_er ctx else Ops.tx ctx),
+          (fun o k -> Tlist.contains o t k),
+          (fun o k -> Tlist.add o t k),
+          (fun o k -> Tlist.remove o t k),
+          fun () -> Tlist.to_list so t )
+    | `Hash ->
+        let t = Thashset.create so ~buckets:64 in
+        ( Thashset.meta t,
+          (fun ctx -> Ops.tx ctx),
+          (fun o k -> Thashset.contains o t k),
+          (fun o k -> Thashset.add o t k),
+          (fun o k -> Thashset.remove o t k),
+          fun () -> Thashset.to_list so t )
+    | `Rb ->
+        let t = Trbtree.create so in
+        ( Trbtree.meta t,
+          (fun ctx -> Ops.tx ctx),
+          (fun o k -> Trbtree.mem o t k),
+          (fun o k -> Trbtree.insert o t k 1),
+          (fun o k -> Trbtree.remove o t k),
+          fun () -> List.map fst (Trbtree.to_list so t) )
+    | `Skip ->
+        let t = Tskiplist.create so () in
+        ( Tskiplist.root t,
+          (fun ctx -> Ops.tx ctx),
+          (fun o k -> Tskiplist.contains o t k),
+          (fun o k -> Tskiplist.add o t k),
+          (fun o k -> Tskiplist.remove o t k),
+          fun () -> Tskiplist.to_list so t )
+  in
+  ignore handle_root;
+  let adds = Array.make range 0 and removes = Array.make range 0 in
+  let record arr k = arr.(k) <- arr.(k) + 1 in
+  List.init n_cores (fun core ->
+      Tm.spawn sys ~core (fun ctx ->
+          let rng = Prng.create (1000 + core) in
+          let o = ops_of ctx in
+          for _ = 1 to per_thread do
+            let k = Prng.int rng range in
+            match Prng.int rng 3 with
+            | 0 ->
+                if Tm.atomic ctx (fun () -> add o k) then record adds k
+            | 1 ->
+                if Tm.atomic ctx (fun () -> remove o k) then record removes k
+            | _ -> ignore (Tm.atomic ctx (fun () -> contains o k))
+          done))
+  |> ignore;
+  Tm.run sys;
+  let final = elements () in
+  for k = 0 to range - 1 do
+    let member = List.mem k final in
+    let balance = adds.(k) - removes.(k) in
+    Alcotest.(check int)
+      (Printf.sprintf "key %d balance" k)
+      (if member then 1 else 0)
+      balance
+  done;
+  (* Structural sanity. *)
+  match structure with
+  | `List | `Skip ->
+      let sorted = List.sort compare final in
+      Alcotest.(check (list int)) "sorted, no duplicates" sorted final
+  | `Rb -> (
+      let t = Trbtree.handle_of_root (List.hd [ handle_root ]) in
+      match Trbtree.check_invariants so t with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+  | `Hash -> ()
+
+let concurrent_cases =
+  [
+    ("list asf-llb256", Tm.Asf_mode Variant.llb256, false, `List);
+    ("list asf-llb8 (serial fallback)", Tm.Asf_mode Variant.llb8, false, `List);
+    ("list asf-llb8 early-release", Tm.Asf_mode Variant.llb8, true, `List);
+    ("list asf-llb256-l1 early-release", Tm.Asf_mode Variant.llb256_l1, true, `List);
+    ("list stm", Tm.Stm_mode, false, `List);
+    ("hash asf-llb256", Tm.Asf_mode Variant.llb256, false, `Hash);
+    ("hash stm", Tm.Stm_mode, false, `Hash);
+    ("rbtree asf-llb256", Tm.Asf_mode Variant.llb256, false, `Rb);
+    ("rbtree asf-llb8-l1", Tm.Asf_mode Variant.llb8_l1, false, `Rb);
+    ("rbtree stm", Tm.Stm_mode, false, `Rb);
+    ("skiplist asf-llb256", Tm.Asf_mode Variant.llb256, false, `Skip);
+    ("skiplist stm", Tm.Stm_mode, false, `Skip);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent queue integrity                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_queue_integrity () =
+  (* 2 producers enqueue tagged sequences while 2 consumers drain: every
+     item is consumed exactly once and each producer's items come out in
+     order. *)
+  let per_producer = 120 in
+  let sys = Tm.create (Tm.default_config (Tm.Asf_mode Variant.llb256) ~n_cores:4) in
+  let so = Ops.setup sys in
+  let q = Tqueue.create so in
+  let produced = 2 * per_producer in
+  let consumed = Array.make 4 [] in
+  let done_producing = ref 0 in
+  let producer tag ctx =
+    let o = Ops.tx ctx in
+    for i = 0 to per_producer - 1 do
+      Tm.atomic ctx (fun () -> Tqueue.enqueue o q ((tag * 1000) + i))
+    done;
+    done_producing := !done_producing + 1
+  in
+  let consumer slot ctx =
+    let o = Ops.tx ctx in
+    let running = ref true in
+    while !running do
+      match Tm.atomic ctx (fun () -> Tqueue.dequeue o q) with
+      | Some v -> consumed.(slot) <- v :: consumed.(slot)
+      | None ->
+          if !done_producing = 2 then running := false else Tm.work ctx 500
+    done
+  in
+  ignore (Tm.spawn sys ~core:0 (producer 1));
+  ignore (Tm.spawn sys ~core:1 (producer 2));
+  ignore (Tm.spawn sys ~core:2 (consumer 2));
+  ignore (Tm.spawn sys ~core:3 (consumer 3));
+  Tm.run sys;
+  let all = List.concat [ consumed.(2); consumed.(3) ] in
+  Alcotest.(check int) "every item consumed once" produced (List.length all);
+  Alcotest.(check int) "no duplicates" produced
+    (List.length (List.sort_uniq compare all));
+  (* Per-producer FIFO: within each consumer's stream (which is in
+     reverse dequeue order), a producer's items must be descending. *)
+  List.iter
+    (fun stream ->
+      List.iter
+        (fun tag ->
+          let mine = List.filter (fun v -> v / 1000 = tag) stream in
+          let sorted_desc = List.sort (fun a b -> compare b a) mine in
+          Alcotest.(check (list int))
+            (Printf.sprintf "producer %d order" tag)
+            sorted_desc mine)
+        [ 1; 2 ])
+    [ consumed.(2); consumed.(3) ]
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "dstruct"
+    [
+      ( "sequential",
+        [
+          q (prop_set_matches "linked-list" list_set);
+          q (prop_set_matches "skip-list" skiplist_set);
+          q (prop_set_matches "rb-tree" rbtree_set);
+          q (prop_set_matches "hash-set" hashset_set);
+          q prop_rbtree_invariants;
+          q prop_hashmap_matches_model;
+          q prop_queue_fifo;
+          Alcotest.test_case "rb-tree upsert" `Quick test_rbtree_update;
+          Alcotest.test_case "queue interleave" `Quick test_skiplist_interleave_queue;
+        ] );
+      ( "concurrent",
+        Alcotest.test_case "queue integrity" `Quick test_concurrent_queue_integrity
+        :: List.map
+             (fun (name, mode, er, structure) ->
+               Alcotest.test_case name `Quick
+                 (concurrent_balance mode ~early_release:er ~structure))
+             concurrent_cases );
+    ]

@@ -1,0 +1,332 @@
+(* Tests for the discrete-event engine, PRNG, priority queue, and the
+   simulated-memory substrate (RAM, addressing, allocator). *)
+
+module Engine = Asf_engine.Engine
+module Prng = Asf_engine.Prng
+module Pqueue = Asf_engine.Pqueue
+module Addr = Asf_mem.Addr
+module Ram = Asf_mem.Ram
+module Alloc = Asf_mem.Alloc
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:5 ~seq:1 "a";
+  Pqueue.push q ~time:3 ~seq:2 "b";
+  Pqueue.push q ~time:5 ~seq:0 "c";
+  Pqueue.push q ~time:1 ~seq:9 "d";
+  let order = List.init 4 (fun _ -> let _, _, v = Pqueue.pop q in v) in
+  Alcotest.(check (list string)) "min (time,seq) first" [ "d"; "b"; "c"; "a" ] order;
+  Alcotest.(check bool) "empty after draining" true (Pqueue.is_empty q)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops in nondecreasing key order" ~count:200
+    QCheck.(list (pair small_nat small_nat))
+    (fun pairs ->
+      let q = Pqueue.create () in
+      List.iteri (fun i (t, s) -> Pqueue.push q ~time:t ~seq:((s * 1000) + i) ()) pairs;
+      let prev = ref (-1, -1) in
+      let ok = ref true in
+      while not (Pqueue.is_empty q) do
+        let t, s, () = Pqueue.pop q in
+        if (t, s) < !prev then ok := false;
+        prev := (t, s)
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let g1 = Prng.create 42 and g2 = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int g1 1000) (Prng.int g2 1000)
+  done
+
+let test_prng_split_independent () =
+  let g = Prng.create 7 in
+  let h = Prng.split g in
+  let a = List.init 50 (fun _ -> Prng.int g 1_000_000) in
+  let b = List.init 50 (fun _ -> Prng.int h 1_000_000) in
+  Alcotest.(check bool) "streams differ" true (a <> b)
+
+let prop_prng_range =
+  QCheck.Test.make ~name:"prng int stays in range" ~count:500
+    QCheck.(pair small_nat (int_range 1 10_000))
+    (fun (seed, n) ->
+      let g = Prng.create seed in
+      let v = Prng.int g n in
+      v >= 0 && v < n)
+
+let test_prng_rough_uniformity () =
+  let g = Prng.create 1 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Prng.int g 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let frac = float_of_int c /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d near 0.1 (got %.3f)" i frac)
+        true
+        (frac > 0.08 && frac < 0.12))
+    buckets
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_single_thread () =
+  let e = Engine.create ~n_cores:1 in
+  let steps = ref 0 in
+  Engine.spawn e ~core:0 (fun () ->
+      for _ = 1 to 10 do
+        Engine.elapse 5;
+        incr steps
+      done);
+  Engine.run e;
+  Alcotest.(check int) "all steps ran" 10 !steps;
+  Alcotest.(check int) "time advanced" 50 (Engine.core_time e 0)
+
+let test_engine_interleaving_deterministic () =
+  (* Two threads alternate strictly by time; record the interleaving. *)
+  let run () =
+    let e = Engine.create ~n_cores:2 in
+    let log = ref [] in
+    let worker id delay () =
+      for i = 1 to 5 do
+        Engine.elapse delay;
+        log := (id, i) :: !log
+      done
+    in
+    Engine.spawn e ~core:0 (worker "a" 10);
+    Engine.spawn e ~core:1 (worker "b" 15);
+    Engine.run e;
+    List.rev !log
+  in
+  let l1 = run () and l2 = run () in
+  Alcotest.(check bool) "deterministic" true (l1 = l2);
+  (* a at 10,20,30,40,50; b at 15,30,45,60,75. At t=30, b's resume was
+     enqueued at t=15 and a's at t=20, so b has the smaller sequence
+     number and runs first. *)
+  Alcotest.(check (list (pair string int)))
+    "interleaving by (time, seq)"
+    [ ("a", 1); ("b", 1); ("a", 2); ("b", 2); ("a", 3); ("a", 4); ("b", 3); ("a", 5); ("b", 4); ("b", 5) ]
+    l1
+
+let test_engine_atomic_between_elapses () =
+  (* Without an elapse in the middle, a read-modify-write sequence is
+     atomic: 2 threads x 1000 increments never lose an update. *)
+  let e = Engine.create ~n_cores:2 in
+  let counter = ref 0 in
+  let incr_thread () =
+    for _ = 1 to 1000 do
+      let v = !counter in
+      counter := v + 1;
+      Engine.elapse 1
+    done
+  in
+  Engine.spawn e ~core:0 incr_thread;
+  Engine.spawn e ~core:1 incr_thread;
+  Engine.run e;
+  Alcotest.(check int) "no lost updates" 2000 !counter
+
+let test_engine_threads_share_core () =
+  let e = Engine.create ~n_cores:1 in
+  let done_count = ref 0 in
+  for _ = 1 to 3 do
+    Engine.spawn e ~core:0 (fun () ->
+        Engine.elapse 7;
+        incr done_count)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all finished" 3 !done_count;
+  (* Threads share core 0's clock; each elapse moves the shared clock. *)
+  Alcotest.(check int) "shared clock" 21 (Engine.core_time e 0)
+
+let test_engine_exception_propagates () =
+  let e = Engine.create ~n_cores:1 in
+  Engine.spawn e ~core:0 (fun () ->
+      Engine.elapse 1;
+      failwith "boom");
+  Alcotest.check_raises "escapes run" (Failure "boom") (fun () -> Engine.run e)
+
+let test_engine_elapse_zero () =
+  (* elapse 0 is a pure yield: time unchanged, scheduling still fair. *)
+  let e = Engine.create ~n_cores:1 in
+  let order = ref [] in
+  Engine.spawn e ~core:0 (fun () ->
+      order := 1 :: !order;
+      Engine.elapse 0;
+      order := 3 :: !order);
+  Engine.spawn e ~core:0 (fun () ->
+      order := 2 :: !order;
+      Engine.elapse 0;
+      order := 4 :: !order);
+  Engine.run e;
+  Alcotest.(check int) "no time passed" 0 (Engine.core_time e 0);
+  Alcotest.(check (list int)) "fair interleave" [ 1; 2; 3; 4 ] (List.rev !order)
+
+let test_engine_negative_elapse_rejected () =
+  let e = Engine.create ~n_cores:1 in
+  Engine.spawn e ~core:0 (fun () -> Engine.elapse (-1));
+  Alcotest.check_raises "negative duration"
+    (Invalid_argument "Engine.elapse: negative duration") (fun () -> Engine.run e)
+
+let test_engine_max_time () =
+  let e = Engine.create ~n_cores:4 in
+  for c = 0 to 3 do
+    Engine.spawn e ~core:c (fun () -> Engine.elapse ((c + 1) * 100))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "makespan" 400 (Engine.max_time e)
+
+(* ------------------------------------------------------------------ *)
+(* Addr                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_addr_arithmetic () =
+  Alcotest.(check int) "line of word 0" 0 (Addr.line_of 0);
+  Alcotest.(check int) "line of word 7" 0 (Addr.line_of 7);
+  Alcotest.(check int) "line of word 8" 1 (Addr.line_of 8);
+  Alcotest.(check int) "page of word 511" 0 (Addr.page_of 511);
+  Alcotest.(check int) "page of word 512" 1 (Addr.page_of 512);
+  Alcotest.(check int) "line base round trip" 24 (Addr.line_base (Addr.line_of 27));
+  Alcotest.(check int) "offset" 3 (Addr.line_offset 27);
+  Alcotest.(check int) "lines of 1 word" 1 (Addr.lines_of_words 1);
+  Alcotest.(check int) "lines of 8 words" 1 (Addr.lines_of_words 8);
+  Alcotest.(check int) "lines of 9 words" 2 (Addr.lines_of_words 9)
+
+(* ------------------------------------------------------------------ *)
+(* Ram                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ram_read_write () =
+  let r = Ram.create () in
+  Alcotest.(check int) "zero fill" 0 (Ram.read r 123456);
+  Ram.write r 123456 99;
+  Alcotest.(check int) "read back" 99 (Ram.read r 123456);
+  Ram.write r 0 7;
+  Alcotest.(check int) "addr 0" 7 (Ram.read r 0)
+
+let test_ram_line_ops () =
+  let r = Ram.create () in
+  for i = 0 to 7 do
+    Ram.write r (80 + i) (i * 10)
+  done;
+  let snapshot = Ram.read_line r 10 in
+  Ram.write r 83 777;
+  Ram.write_line r 10 snapshot;
+  Alcotest.(check int) "restored" 30 (Ram.read r 83)
+
+let prop_ram_last_write_wins =
+  QCheck.Test.make ~name:"ram read sees last write" ~count:200
+    QCheck.(list (pair (int_range 0 100000) small_nat))
+    (fun writes ->
+      let r = Ram.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (a, v) ->
+          Ram.write r a v;
+          Hashtbl.replace model a v)
+        writes;
+      Hashtbl.fold (fun a v acc -> acc && Ram.read r a = v) model true)
+
+(* ------------------------------------------------------------------ *)
+(* Alloc                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_alloc_basic () =
+  let al = Alloc.create () in
+  let a = Alloc.alloc al 10 in
+  let b = Alloc.alloc al 10 in
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check bool) "no overlap" true (b >= a + 10 || a >= b + 10);
+  Alcotest.(check int) "size recorded" 10 (Alloc.size_of al a);
+  Alcotest.(check int) "live words" 20 (Alloc.live_words al)
+
+let test_alloc_reuse_after_free () =
+  let al = Alloc.create () in
+  let a = Alloc.alloc al 16 in
+  Alloc.free al a;
+  let b = Alloc.alloc al 16 in
+  Alcotest.(check int) "freed block reused" a b
+
+let test_alloc_double_free_rejected () =
+  let al = Alloc.create () in
+  let a = Alloc.alloc al 4 in
+  Alloc.free al a;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Alloc.free: double free") (fun () -> Alloc.free al a)
+
+let test_alloc_lines_alignment () =
+  let al = Alloc.create () in
+  let _ = Alloc.alloc al 3 in
+  let a = Alloc.alloc_lines al 5 in
+  Alcotest.(check int) "line aligned" 0 (a mod Addr.words_per_line);
+  Alcotest.(check int) "padded to full line" Addr.words_per_line (Alloc.size_of al a)
+
+let prop_alloc_no_overlap =
+  QCheck.Test.make ~name:"allocated blocks never overlap" ~count:100
+    QCheck.(list (int_range 1 64))
+    (fun sizes ->
+      let al = Alloc.create () in
+      let blocks = List.map (fun n -> (Alloc.alloc al n, n)) sizes in
+      let rec pairwise = function
+        | [] -> true
+        | (a, na) :: rest ->
+            List.for_all (fun (b, nb) -> a + na <= b || b + nb <= a) rest
+            && pairwise rest
+      in
+      pairwise blocks)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine+mem"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "order" `Quick test_pqueue_order;
+          q prop_pqueue_sorted;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+          Alcotest.test_case "uniformity" `Quick test_prng_rough_uniformity;
+          q prop_prng_range;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "single thread" `Quick test_engine_single_thread;
+          Alcotest.test_case "interleaving" `Quick test_engine_interleaving_deterministic;
+          Alcotest.test_case "atomic sections" `Quick test_engine_atomic_between_elapses;
+          Alcotest.test_case "shared core" `Quick test_engine_threads_share_core;
+          Alcotest.test_case "exception" `Quick test_engine_exception_propagates;
+          Alcotest.test_case "elapse zero" `Quick test_engine_elapse_zero;
+          Alcotest.test_case "negative elapse" `Quick test_engine_negative_elapse_rejected;
+          Alcotest.test_case "max time" `Quick test_engine_max_time;
+        ] );
+      ("addr", [ Alcotest.test_case "arithmetic" `Quick test_addr_arithmetic ]);
+      ( "ram",
+        [
+          Alcotest.test_case "read/write" `Quick test_ram_read_write;
+          Alcotest.test_case "line ops" `Quick test_ram_line_ops;
+          q prop_ram_last_write_wins;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "basic" `Quick test_alloc_basic;
+          Alcotest.test_case "reuse" `Quick test_alloc_reuse_after_free;
+          Alcotest.test_case "double free" `Quick test_alloc_double_free_rejected;
+          Alcotest.test_case "line align" `Quick test_alloc_lines_alignment;
+          q prop_alloc_no_overlap;
+        ] );
+    ]

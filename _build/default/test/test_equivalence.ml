@@ -1,0 +1,137 @@
+(* Cross-mode equivalence: a single-threaded workload must produce the
+   identical final structure under sequential execution, every ASF
+   variant, the phased hybrid, and the STM — aborts (page faults from
+   fresh allocation pages) and fallbacks may differ, but re-execution
+   must be transparent.
+
+   The skip list is excluded by design: its level choice draws from the
+   context PRNG inside the transaction, so a retried insertion legally
+   picks a different level (same set contents, different shape — checked
+   separately). *)
+
+module Tm = Asf_tm_rt.Tm
+module Variant = Asf_core.Variant
+module Prng = Asf_engine.Prng
+module Ops = Asf_dstruct.Ops
+module Tlist = Asf_dstruct.Tlist
+module Trbtree = Asf_dstruct.Trbtree
+module Thashset = Asf_dstruct.Thashset
+module Tskiplist = Asf_dstruct.Tskiplist
+
+let modes =
+  [
+    ("seq", Tm.Seq_mode);
+    ("llb8", Tm.Asf_mode Variant.llb8);
+    ("llb256", Tm.Asf_mode Variant.llb256);
+    ("llb8-l1", Tm.Asf_mode Variant.llb8_l1);
+    ("llb256-l1", Tm.Asf_mode Variant.llb256_l1);
+    ("cache-based", Tm.Asf_mode Variant.cache_based);
+    ("phased", Tm.Phased_mode Variant.llb8);
+    ("stm", Tm.Stm_mode);
+  ]
+
+type structure = L | R | H
+
+let run_workload mode structure ~seed ~range ~txns =
+  let sys = Tm.create (Tm.default_config mode ~n_cores:1) in
+  let so = Ops.setup sys in
+  let create, apply, elements =
+    match structure with
+    | L ->
+        let t = Tlist.create so in
+        ( (fun () -> ()),
+          (fun o -> function
+            | `Add k -> ignore (Tlist.add o t k)
+            | `Remove k -> ignore (Tlist.remove o t k)
+            | `Find k -> ignore (Tlist.contains o t k)),
+          fun () -> Tlist.to_list so t )
+    | R ->
+        let t = Trbtree.create so in
+        ( (fun () -> ()),
+          (fun o -> function
+            | `Add k -> ignore (Trbtree.insert o t k k)
+            | `Remove k -> ignore (Trbtree.remove o t k)
+            | `Find k -> ignore (Trbtree.mem o t k)),
+          fun () -> List.map fst (Trbtree.to_list so t) )
+    | H ->
+        let t = Thashset.create so ~buckets:128 in
+        ( (fun () -> ()),
+          (fun o -> function
+            | `Add k -> ignore (Thashset.add o t k)
+            | `Remove k -> ignore (Thashset.remove o t k)
+            | `Find k -> ignore (Thashset.contains o t k)),
+          fun () -> List.sort compare (Thashset.to_list so t) )
+  in
+  create ();
+  ignore
+    (Tm.spawn sys ~core:0 (fun ctx ->
+         let o = Ops.tx ctx in
+         let rng = Prng.create seed in
+         for _ = 1 to txns do
+           (* Drawn OUTSIDE the transaction, as DTMC-compiled code would:
+              retries must not change the operation. *)
+           let k = Prng.int rng range in
+           let op =
+             match Prng.int rng 3 with
+             | 0 -> `Add k
+             | 1 -> `Remove k
+             | _ -> `Find k
+           in
+           Tm.atomic ctx (fun () -> apply o op)
+         done));
+  Tm.run sys;
+  elements ()
+
+let prop_cross_mode structure name =
+  QCheck.Test.make ~name:(name ^ " identical across all modes") ~count:20
+    QCheck.(pair (int_range 1 10_000) (int_range 2 300))
+    (fun (seed, range) ->
+      let reference = run_workload Tm.Seq_mode structure ~seed ~range ~txns:120 in
+      List.for_all
+        (fun (mname, mode) ->
+          let got = run_workload mode structure ~seed ~range ~txns:120 in
+          if got = reference then true
+          else
+            QCheck.Test.fail_reportf "%s diverged: %d vs %d elements" mname
+              (List.length got) (List.length reference))
+        modes)
+
+let prop_skiplist_same_membership =
+  (* The skip list must agree on MEMBERSHIP across modes even though
+     retried level draws may change its internal shape. *)
+  QCheck.Test.make ~name:"skip list membership identical across modes" ~count:10
+    QCheck.(pair (int_range 1 10_000) (int_range 2 300))
+    (fun (seed, range) ->
+      let run mode =
+        let sys = Tm.create (Tm.default_config mode ~n_cores:1) in
+        let so = Ops.setup sys in
+        let t = Tskiplist.create so () in
+        ignore
+          (Tm.spawn sys ~core:0 (fun ctx ->
+               let o = Ops.tx ctx in
+               let rng = Prng.create seed in
+               for _ = 1 to 120 do
+                 let k = Prng.int rng range in
+                 let add = Prng.bool rng in
+                 Tm.atomic ctx (fun () ->
+                     if add then ignore (Tskiplist.add o t k)
+                     else ignore (Tskiplist.remove o t k))
+               done));
+        Tm.run sys;
+        Tskiplist.to_list so t
+      in
+      let reference = run Tm.Seq_mode in
+      List.for_all (fun (_, mode) -> run mode = reference) modes)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "equivalence"
+    [
+      ( "cross-mode",
+        [
+          q (prop_cross_mode L "linked list");
+          q (prop_cross_mode R "rb-tree");
+          q (prop_cross_mode H "hash set");
+          q prop_skiplist_same_membership;
+        ] );
+    ]

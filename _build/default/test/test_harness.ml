@@ -1,0 +1,258 @@
+(* Tests for the harness (report rendering, CSV, calibration, experiment
+   registry) and for the lock-elision runtime extension. *)
+
+module Report = Asf_harness.Report
+module Calibration = Asf_harness.Calibration
+module Experiments = Asf_harness.Experiments
+module Tm = Asf_tm_rt.Tm
+module Elision = Asf_tm_rt.Elision
+module Stats = Asf_tm_rt.Stats
+module Variant = Asf_core.Variant
+module Prng = Asf_engine.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_render () =
+  let r =
+    Report.make ~id:"t" ~title:"demo" ~notes:[ "a note" ]
+      [ "col"; "value" ]
+      [ [ "x"; "1" ]; [ "longer"; "2" ] ]
+  in
+  let s = Format.asprintf "%a" Report.pp r in
+  Alcotest.(check bool) "title present" true
+    (String.length s > 0
+    && Option.is_some (String.index_opt s '='));
+  Alcotest.(check bool) "note present" true
+    (String.length s >= 6 && String.sub s (String.length s - 7) 6 = "a note")
+
+let test_report_ragged_rejected () =
+  Alcotest.check_raises "ragged row"
+    (Invalid_argument "Report.make: ragged row in bad") (fun () ->
+      ignore (Report.make ~id:"bad" ~title:"t" [ "a"; "b" ] [ [ "only one" ] ]))
+
+let test_report_csv () =
+  let r =
+    Report.make ~id:"c" ~title:"t" [ "a"; "b" ]
+      [ [ "1"; "has,comma" ]; [ "2"; "has\"quote" ] ]
+  in
+  let csv = Report.to_csv r in
+  Alcotest.(check string) "csv escaping"
+    "a,b\n1,\"has,comma\"\n2,\"has\"\"quote\"\n" csv
+
+let test_report_save_csv () =
+  let dir = Filename.temp_file "asf" "" in
+  Sys.remove dir;
+  let r = Report.make ~id:"saved" ~title:"t" [ "x" ] [ [ "1" ] ] in
+  let path = Report.save_csv ~dir r in
+  Alcotest.(check bool) "file written" true (Sys.file_exists path);
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "header" "x" line
+
+(* ------------------------------------------------------------------ *)
+(* Calibration / experiments                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_calibration_entries () =
+  let entries = Calibration.measure ~quick:true ~seed:1 in
+  Alcotest.(check int) "8 stamp apps" 8 (List.length entries);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (e.Calibration.app ^ " cycles positive")
+        true
+        (e.Calibration.detailed_cycles > 0 && e.Calibration.reference_cycles > 0);
+      (* The detailed model has larger latencies, so it should not be
+         dramatically faster than the reference. *)
+      Alcotest.(check bool)
+        (e.Calibration.app ^ " deviation sane")
+        true
+        (e.Calibration.deviation_pct > -50.0 && e.Calibration.deviation_pct < 200.0))
+    entries
+
+let test_registry_ids_unique () =
+  let ids = Experiments.ids () in
+  let sorted = List.sort_uniq compare ids in
+  Alcotest.(check int) "no duplicate ids" (List.length ids) (List.length sorted);
+  Alcotest.(check bool) "fig4 present" true (Experiments.find "fig4" <> None);
+  Alcotest.(check bool) "unknown absent" true (Experiments.find "nope" = None)
+
+let test_quick_experiments_well_formed () =
+  (* The cheap experiments produce non-empty tables with consistent row
+     widths (Report.make already enforces this; we assert non-emptiness
+     and run them end to end). *)
+  List.iter
+    (fun id ->
+      match Experiments.find id with
+      | None -> Alcotest.failf "missing %s" id
+      | Some e ->
+          let reports = e.Experiments.run ~quick:true ~seed:2 in
+          Alcotest.(check bool) (id ^ " has reports") true (reports <> []);
+          List.iter
+            (fun r ->
+              Alcotest.(check bool)
+                (id ^ " has rows")
+                true
+                (r.Report.rows <> []))
+            reports)
+    [ "fig3"; "fig9"; "tab1"; "abl-wins"; "abl-annot"; "abl-backoff" ]
+
+(* ------------------------------------------------------------------ *)
+(* Lock elision                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let elision_setup () =
+  let sys = Tm.create (Tm.default_config (Tm.Asf_mode Variant.llb256) ~n_cores:4) in
+  let lock = Elision.make sys in
+  let counter = Tm.setup_alloc sys 1 in
+  Tm.setup_poke sys counter 0;
+  (sys, lock, counter)
+
+let test_elision_correct () =
+  let sys, lock, counter = elision_setup () in
+  let per = 200 in
+  let ctxs =
+    List.init 4 (fun core ->
+        Tm.spawn sys ~core (fun ctx ->
+            for _ = 1 to per do
+              Elision.with_lock ctx lock (fun () ->
+                  Tm.store ctx counter (Tm.load ctx counter + 1))
+            done))
+  in
+  Tm.run sys;
+  Alcotest.(check int) "no lost updates" (4 * per) (Tm.setup_peek sys counter);
+  Alcotest.(check bool) "lock free at end" false (Elision.held sys lock);
+  (* Elided sections never actually took the lock: every commit that is
+     not serial ran with the lock word untouched. *)
+  let agg = Stats.create () in
+  List.iter (fun c -> Stats.add (Tm.stats c) ~into:agg) ctxs;
+  Alcotest.(check bool) "mostly hardware" true
+    (Stats.serial_commits agg * 10 < Stats.commits agg)
+
+let test_elision_with_legacy_lockers () =
+  let sys, lock, counter = elision_setup () in
+  let per = 150 in
+  List.iteri
+    (fun core f -> ignore (Tm.spawn sys ~core f))
+    [
+      (fun ctx ->
+        (* Legacy thread: real acquisitions. *)
+        for _ = 1 to per do
+          Elision.acquire ctx lock;
+          Tm.store ctx counter (Tm.load ctx counter + 1);
+          Elision.release ctx lock
+        done);
+      (fun ctx ->
+        for _ = 1 to per do
+          Elision.with_lock ctx lock (fun () ->
+              Tm.store ctx counter (Tm.load ctx counter + 1))
+        done);
+      (fun ctx ->
+        for _ = 1 to per do
+          Elision.with_lock ctx lock (fun () ->
+              Tm.store ctx counter (Tm.load ctx counter + 1))
+        done);
+    ];
+  Tm.run sys;
+  Alcotest.(check int) "mixed modes preserve atomicity" (3 * per)
+    (Tm.setup_peek sys counter)
+
+let test_elision_parallelism () =
+  (* Disjoint critical sections under one lock: once the section is long
+     enough that serialization dominates the TM begin overhead, elision
+     must beat real locking (for a 2-access section the spinlock's cheap
+     hand-off actually wins — elision is not free). *)
+  let section ctx slot =
+    Tm.work ctx 300;
+    Tm.store ctx slot (Tm.load ctx slot + 1)
+  in
+  let run elided =
+    let sys = Tm.create (Tm.default_config (Tm.Asf_mode Variant.llb256) ~n_cores:4) in
+    let lock = Elision.make sys in
+    let slots = Array.init 4 (fun _ -> Tm.setup_alloc sys 1) in
+    List.init 4 (fun core ->
+        Tm.spawn sys ~core (fun ctx ->
+            for _ = 1 to 200 do
+              if elided then Elision.with_lock ctx lock (fun () -> section ctx slots.(core))
+              else begin
+                Elision.acquire ctx lock;
+                section ctx slots.(core);
+                Elision.release ctx lock
+              end
+            done))
+    |> ignore;
+    Tm.run sys;
+    Tm.makespan sys
+  in
+  let locked = run false and elided = run true in
+  Alcotest.(check bool)
+    (Printf.sprintf "elided (%d) < locked (%d)" elided locked)
+    true (elided < locked)
+
+let test_elision_stm_mode () =
+  (* Elision also works over the STM baseline (the lock word is just
+     transactional state). *)
+  let sys = Tm.create (Tm.default_config Tm.Stm_mode ~n_cores:4) in
+  let lock = Elision.make sys in
+  let counter = Tm.setup_alloc sys 1 in
+  List.init 4 (fun core ->
+      Tm.spawn sys ~core (fun ctx ->
+          for _ = 1 to 100 do
+            Elision.with_lock ctx lock (fun () ->
+                Tm.store ctx counter (Tm.load ctx counter + 1))
+          done))
+  |> ignore;
+  Tm.run sys;
+  Alcotest.(check int) "stm-mode elision" 400 (Tm.setup_peek sys counter)
+
+(* ------------------------------------------------------------------ *)
+(* Profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_counters () =
+  let sys = Tm.create (Tm.default_config (Tm.Asf_mode Variant.llb256) ~n_cores:2) in
+  let a = Tm.setup_alloc sys 1 in
+  let _ =
+    Tm.spawn sys ~core:0 (fun ctx ->
+        for _ = 1 to 50 do
+          Tm.atomic ctx (fun () -> Tm.store ctx a (Tm.load ctx a + 1))
+        done)
+  in
+  Tm.run sys;
+  let p = Asf_harness.Profile.of_system sys in
+  Alcotest.(check bool) "loads counted" true (p.Asf_harness.Profile.loads > 50);
+  Alcotest.(check bool) "hot loop has high L1 hit rate" true
+    (p.Asf_harness.Profile.l1_hit_rate > 0.9);
+  Alcotest.(check bool) "makespan positive" true
+    (p.Asf_harness.Profile.makespan_cycles > 0);
+  Alcotest.(check int) "eight lines" 8
+    (List.length (Asf_harness.Profile.lines p))
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "render" `Quick test_report_render;
+          Alcotest.test_case "ragged" `Quick test_report_ragged_rejected;
+          Alcotest.test_case "csv" `Quick test_report_csv;
+          Alcotest.test_case "save csv" `Quick test_report_save_csv;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "calibration" `Quick test_calibration_entries;
+          Alcotest.test_case "registry" `Quick test_registry_ids_unique;
+          Alcotest.test_case "quick runs" `Slow test_quick_experiments_well_formed;
+        ] );
+      ( "profile", [ Alcotest.test_case "counters" `Quick test_profile_counters ] );
+      ( "elision",
+        [
+          Alcotest.test_case "correctness" `Quick test_elision_correct;
+          Alcotest.test_case "legacy mix" `Quick test_elision_with_legacy_lockers;
+          Alcotest.test_case "parallelism" `Quick test_elision_parallelism;
+          Alcotest.test_case "stm mode" `Quick test_elision_stm_mode;
+        ] );
+    ]

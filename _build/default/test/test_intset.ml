@@ -1,0 +1,96 @@
+(* Tests for the IntegerSet driver: size consistency, determinism, and
+   the paper's qualitative orderings. *)
+
+module Tm = Asf_tm_rt.Tm
+module Stats = Asf_tm_rt.Stats
+module Variant = Asf_core.Variant
+module Intset = Asf_intset.Intset
+
+let quick structure =
+  { (Intset.default_cfg structure) with Intset.txns_per_thread = 300; range = 256 }
+
+let test_all_structures_all_modes () =
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun (mname, mode, threads) ->
+          let tm = Tm.default_config mode ~n_cores:threads in
+          let r = Intset.run tm ~threads (quick structure) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s size consistent" (Intset.structure_name structure) mname)
+            true r.Intset.size_ok;
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s txns" (Intset.structure_name structure) mname)
+            (threads * 300)
+            (Stats.commits r.Intset.stats))
+        [
+          ("llb8", Tm.Asf_mode Variant.llb8, 2);
+          ("llb256", Tm.Asf_mode Variant.llb256, 4);
+          ("llb8-l1", Tm.Asf_mode Variant.llb8_l1, 2);
+          ("llb256-l1", Tm.Asf_mode Variant.llb256_l1, 4);
+          ("stm", Tm.Stm_mode, 4);
+          ("seq", Tm.Seq_mode, 1);
+        ])
+    [ Intset.Linked_list; Intset.Skip_list; Intset.Rb_tree; Intset.Hash_set ]
+
+let test_early_release_helps_llb8_list () =
+  (* The Fig. 8 effect: with a 128-element list, LLB-8 without early
+     release runs serially; with early release it stays in hardware and
+     achieves higher throughput. *)
+  let run er =
+    let cfg =
+      { (Intset.default_cfg Intset.Linked_list) with
+        Intset.range = 256; txns_per_thread = 300; early_release = er }
+    in
+    let tm = Tm.default_config (Tm.Asf_mode Variant.llb8) ~n_cores:4 in
+    Intset.run tm ~threads:4 cfg
+  in
+  let plain = run false and er = run true in
+  Alcotest.(check bool) "ER size ok" true er.Intset.size_ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "ER fewer serial (%d < %d)"
+       (Stats.serial_commits er.Intset.stats)
+       (Stats.serial_commits plain.Intset.stats))
+    true
+    (Stats.serial_commits er.Intset.stats < Stats.serial_commits plain.Intset.stats);
+  Alcotest.(check bool)
+    (Printf.sprintf "ER faster (%.2f > %.2f)" er.Intset.throughput_tx_per_us
+       plain.Intset.throughput_tx_per_us)
+    true
+    (er.Intset.throughput_tx_per_us > plain.Intset.throughput_tx_per_us)
+
+let test_asf_beats_stm_single_thread () =
+  List.iter
+    (fun structure ->
+      let run mode =
+        let tm = Tm.default_config mode ~n_cores:1 in
+        (Intset.run tm ~threads:1 (quick structure)).Intset.throughput_tx_per_us
+      in
+      let asf = run (Tm.Asf_mode Variant.llb256) and stm = run Tm.Stm_mode in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: asf (%.2f) > stm (%.2f)"
+           (Intset.structure_name structure) asf stm)
+        true (asf > stm))
+    [ Intset.Linked_list; Intset.Skip_list; Intset.Rb_tree; Intset.Hash_set ]
+
+let test_deterministic () =
+  let run () =
+    let tm = Tm.default_config (Tm.Asf_mode Variant.llb256) ~n_cores:4 in
+    (Intset.run tm ~threads:4 (quick Intset.Rb_tree)).Intset.cycles
+  in
+  Alcotest.(check int) "same cycles" (run ()) (run ())
+
+let () =
+  Alcotest.run "intset"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "all structures/modes" `Slow test_all_structures_all_modes;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+      ( "paper shapes",
+        [
+          Alcotest.test_case "early release" `Quick test_early_release_helps_llb8_list;
+          Alcotest.test_case "asf > stm" `Slow test_asf_beats_stm_single_thread;
+        ] );
+    ]

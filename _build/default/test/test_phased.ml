@@ -1,0 +1,285 @@
+(* Tests for the two extensions beyond the paper's simulator:
+   - the pure cache-based ASF implementation variant (Section 2.3's first
+     variant, which the paper describes but did not simulate);
+   - the PhasedTM-style software-phase fallback (Section 3.2's "more
+     elaborate fallback"). *)
+
+module Engine = Asf_engine.Engine
+module Params = Asf_machine.Params
+module Addr = Asf_mem.Addr
+module Memsys = Asf_cache.Memsys
+module Abort = Asf_core.Abort
+module Variant = Asf_core.Variant
+module Asf = Asf_core.Asf
+module Stats = Asf_tm_rt.Stats
+module Tm = Asf_tm_rt.Tm
+module Intset = Asf_intset.Intset
+module Prng = Asf_engine.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Cache-based variant                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let asf_setup variant =
+  let e = Engine.create ~n_cores:2 in
+  let m = Memsys.create Params.barcelona e in
+  let a = Asf.create m variant in
+  for p = 0 to 255 do
+    Memsys.map_page m p
+  done;
+  (e, m, a)
+
+let test_cache_based_large_sets () =
+  (* Both read AND write sets beyond any LLB-8/256 bound fit, as long as
+     associativity is not exceeded: 300 consecutive lines map to distinct
+     L1 sets. *)
+  let e, m, a = asf_setup Variant.cache_based in
+  Engine.spawn e ~core:0 (fun () ->
+      Asf.speculate a ~core:0;
+      for i = 0 to 299 do
+        Asf.lock_store a ~core:0 (Addr.line_base i) i
+      done;
+      Asf.commit a ~core:0);
+  Engine.run e;
+  Alcotest.(check int) "committed" 1 (Asf.commits a);
+  Alcotest.(check int) "all stores visible" 299 (Memsys.peek m (Addr.line_base 299))
+
+let test_cache_based_write_displacement () =
+  (* Three speculatively-written lines in one 2-way L1 set (lines 0, 512,
+     1024 share set 0) must abort with Capacity — the associativity limit
+     the paper gives as the cache-based variant's weakness. *)
+  let e, _m, a = asf_setup Variant.cache_based in
+  let result = ref None in
+  Engine.spawn e ~core:0 (fun () ->
+      try
+        Asf.speculate a ~core:0;
+        Asf.lock_store a ~core:0 (Addr.line_base 0) 1;
+        Asf.lock_store a ~core:0 (Addr.line_base 512) 2;
+        Asf.lock_store a ~core:0 (Addr.line_base 1024) 3;
+        ignore (Asf.lock_load a ~core:0 (Addr.line_base 1));
+        Asf.commit a ~core:0
+      with Asf.Aborted r -> result := Some r);
+  Engine.run e;
+  (match !result with
+  | Some Abort.Capacity -> ()
+  | Some r -> Alcotest.failf "expected capacity, got %s" (Abort.to_string r)
+  | None -> Alcotest.fail "expected displacement abort");
+  (* The same pattern commits on LLB-256 (fully associative). *)
+  let e2, _m2, a2 = asf_setup Variant.llb256 in
+  Engine.spawn e2 ~core:0 (fun () ->
+      Asf.speculate a2 ~core:0;
+      Asf.lock_store a2 ~core:0 (Addr.line_base 0) 1;
+      Asf.lock_store a2 ~core:0 (Addr.line_base 512) 2;
+      Asf.lock_store a2 ~core:0 (Addr.line_base 1024) 3;
+      Asf.commit a2 ~core:0);
+  Engine.run e2;
+  Alcotest.(check int) "LLB immune" 1 (Asf.commits a2)
+
+let test_cache_based_rollback_correct () =
+  (* Displacement-doomed stores must be fully rolled back. *)
+  let e, m, a = asf_setup Variant.cache_based in
+  Memsys.poke m (Addr.line_base 0) 100;
+  Memsys.poke m (Addr.line_base 512) 200;
+  Memsys.poke m (Addr.line_base 1024) 300;
+  Engine.spawn e ~core:0 (fun () ->
+      try
+        Asf.speculate a ~core:0;
+        Asf.lock_store a ~core:0 (Addr.line_base 0) 1;
+        Asf.lock_store a ~core:0 (Addr.line_base 512) 2;
+        Asf.lock_store a ~core:0 (Addr.line_base 1024) 3;
+        ignore (Asf.lock_load a ~core:0 (Addr.line_base 2));
+        Asf.commit a ~core:0
+      with Asf.Aborted _ -> ());
+  Engine.run e;
+  Alcotest.(check int) "line 0 restored" 100 (Memsys.peek m (Addr.line_base 0));
+  Alcotest.(check int) "line 512 restored" 200 (Memsys.peek m (Addr.line_base 512));
+  Alcotest.(check int) "line 1024 restored" 300 (Memsys.peek m (Addr.line_base 1024))
+
+let test_cache_based_tm_integration () =
+  (* A full intset run on the cache-based variant stays correct. *)
+  let cfg =
+    { (Intset.default_cfg Intset.Rb_tree) with Intset.range = 512; txns_per_thread = 300 }
+  in
+  let tm = Tm.default_config (Tm.Asf_mode Variant.cache_based) ~n_cores:4 in
+  let r = Intset.run tm ~threads:4 cfg in
+  Alcotest.(check bool) "size consistent" true r.Intset.size_ok;
+  Alcotest.(check int) "all txns" 1200 (Stats.commits r.Intset.stats)
+
+(* ------------------------------------------------------------------ *)
+(* Phased mode                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_phased_small_txns_stay_hw () =
+  let sys = Tm.create (Tm.default_config (Tm.Phased_mode Variant.llb256) ~n_cores:4) in
+  let counter = Tm.setup_alloc sys 1 in
+  List.init 4 (fun core ->
+      Tm.spawn sys ~core (fun ctx ->
+          for _ = 1 to 200 do
+            Tm.atomic ctx (fun () -> Tm.store ctx counter (Tm.load ctx counter + 1))
+          done))
+  |> ignore;
+  Tm.run sys;
+  Alcotest.(check int) "correct" 800 (Tm.setup_peek sys counter);
+  Alcotest.(check (option (pair int int))) "never left hardware" (Some (0, 0))
+    (Tm.phase_switches sys)
+
+let test_phased_capacity_switches_and_returns () =
+  (* Big transactions (40 lines) overflow LLB-8: the phased system must
+     switch to the software phase (not serial), run correctly, and switch
+     back once the quantum expires. *)
+  let tweak c = { c with Tm.phase_quantum = 50 } in
+  let sys =
+    Tm.create (tweak (Tm.default_config (Tm.Phased_mode Variant.llb8) ~n_cores:4))
+  in
+  let arr = Tm.setup_alloc sys (40 * Addr.words_per_line) in
+  let ctxs =
+    List.init 4 (fun core ->
+        Tm.spawn sys ~core (fun ctx ->
+            for _ = 1 to 60 do
+              Tm.atomic ctx (fun () ->
+                  for i = 0 to 39 do
+                    let a = arr + (i * Addr.words_per_line) in
+                    Tm.store ctx a (Tm.load ctx a + 1)
+                  done)
+            done))
+  in
+  Tm.run sys;
+  for i = 0 to 39 do
+    Alcotest.(check int) "all increments survive" 240
+      (Tm.setup_peek sys (arr + (i * Addr.words_per_line)))
+  done;
+  let to_sw, to_hw = Option.get (Tm.phase_switches sys) in
+  Alcotest.(check bool) "switched to software" true (to_sw >= 1);
+  Alcotest.(check bool) "switched back" true (to_hw >= 1);
+  let agg = Stats.create () in
+  List.iter (fun c -> Stats.add (Tm.stats c) ~into:agg) ctxs;
+  Alcotest.(check int) "no serial fallbacks" 0 (Stats.serial_commits agg)
+
+let test_phased_mixed_sizes_correct () =
+  (* Small and large transactions interleaved: the global phase flips
+     both ways repeatedly; totals must stay exact. *)
+  let tweak c = { c with Tm.phase_quantum = 30 } in
+  let sys =
+    Tm.create (tweak (Tm.default_config (Tm.Phased_mode Variant.llb8) ~n_cores:4))
+  in
+  let big = Tm.setup_alloc sys (20 * Addr.words_per_line) in
+  let small = Tm.setup_alloc sys 1 in
+  List.init 4 (fun core ->
+      Tm.spawn sys ~core (fun ctx ->
+          let rng = Prng.create (core + 5) in
+          for _ = 1 to 100 do
+            if Prng.chance rng 30 then
+              Tm.atomic ctx (fun () ->
+                  for i = 0 to 19 do
+                    let a = big + (i * Addr.words_per_line) in
+                    Tm.store ctx a (Tm.load ctx a + 1)
+                  done)
+            else
+              Tm.atomic ctx (fun () -> Tm.store ctx small (Tm.load ctx small + 1))
+          done))
+  |> ignore;
+  Tm.run sys;
+  let bigs = Tm.setup_peek sys big in
+  for i = 1 to 19 do
+    Alcotest.(check int) "big lines consistent" bigs
+      (Tm.setup_peek sys (big + (i * Addr.words_per_line)))
+  done;
+  Alcotest.(check int) "total ops" 400 (bigs + Tm.setup_peek sys small)
+
+let test_phased_malloc_still_serial () =
+  (* Syscall-class aborts (irrevocable actions) must still use the serial
+     path even in phased mode. *)
+  let sys = Tm.create (Tm.default_config (Tm.Phased_mode Variant.llb256) ~n_cores:2) in
+  let x = Tm.setup_alloc sys 1 in
+  let ctx0 =
+    Tm.spawn sys ~core:0 (fun ctx ->
+        Tm.atomic ctx (fun () ->
+            Tm.store ctx x 1;
+            Tm.irrevocable ctx;
+            Tm.store ctx x 2))
+  in
+  Tm.run sys;
+  Alcotest.(check int) "committed serially" 2 (Tm.setup_peek sys x);
+  Alcotest.(check int) "one serial commit" 1 (Stats.serial_commits (Tm.stats ctx0))
+
+let test_phased_beats_serial_fallback () =
+  (* The point of PhasedTM: on a capacity-bound workload where the STM
+     scales (an rb-tree, whose O(log n) read sets suit it — unlike the
+     linked list, where STM validation is as miserable as serialisation),
+     the software phase beats the serial fallback. *)
+  let cfg =
+    {
+      (Intset.default_cfg Intset.Rb_tree) with
+      Intset.range = 16384;
+      txns_per_thread = 300;
+    }
+  in
+  let run mode =
+    let tm = Tm.default_config mode ~n_cores:8 in
+    Intset.run tm ~threads:8 cfg
+  in
+  let serial = run (Tm.Asf_mode Variant.llb8) in
+  let phased = run (Tm.Phased_mode Variant.llb8) in
+  Alcotest.(check bool) "phased consistent" true phased.Intset.size_ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "phased (%.2f) beats serial fallback (%.2f)"
+       phased.Intset.throughput_tx_per_us serial.Intset.throughput_tx_per_us)
+    true
+    (phased.Intset.throughput_tx_per_us > serial.Intset.throughput_tx_per_us)
+
+(* ------------------------------------------------------------------ *)
+(* Scale and topology generality                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_sixteen_cores () =
+  (* Nothing in the stack assumes 8 cores. *)
+  let cfg =
+    { (Intset.default_cfg Intset.Rb_tree) with Intset.range = 2048; txns_per_thread = 150 }
+  in
+  let tm = Tm.default_config (Tm.Asf_mode Variant.llb256) ~n_cores:16 in
+  let r = Intset.run tm ~threads:16 cfg in
+  Alcotest.(check bool) "16-core run consistent" true r.Intset.size_ok;
+  Alcotest.(check int) "all txns" (16 * 150) (Stats.commits r.Intset.stats)
+
+let test_dual_socket_correct () =
+  (* The dual-socket topology changes timing, never results. *)
+  let cfg =
+    { (Intset.default_cfg Intset.Hash_set) with Intset.range = 1024; txns_per_thread = 200 }
+  in
+  let run params =
+    let tm = { (Tm.default_config (Tm.Asf_mode Variant.llb256) ~n_cores:8) with Tm.params } in
+    Intset.run tm ~threads:8 cfg
+  in
+  let single = run Params.barcelona in
+  let dual = run Params.dual_socket in
+  Alcotest.(check bool) "dual consistent" true dual.Intset.size_ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "interconnect costs cycles (%d > %d)" dual.Intset.cycles
+       single.Intset.cycles)
+    true
+    (dual.Intset.cycles > single.Intset.cycles)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "cache-based",
+        [
+          Alcotest.test_case "large sets fit" `Quick test_cache_based_large_sets;
+          Alcotest.test_case "write displacement" `Quick test_cache_based_write_displacement;
+          Alcotest.test_case "rollback" `Quick test_cache_based_rollback_correct;
+          Alcotest.test_case "tm integration" `Quick test_cache_based_tm_integration;
+        ] );
+      ( "generality",
+        [
+          Alcotest.test_case "16 cores" `Quick test_sixteen_cores;
+          Alcotest.test_case "dual socket" `Quick test_dual_socket_correct;
+        ] );
+      ( "phased",
+        [
+          Alcotest.test_case "stays hw" `Quick test_phased_small_txns_stay_hw;
+          Alcotest.test_case "switch and return" `Quick test_phased_capacity_switches_and_returns;
+          Alcotest.test_case "mixed sizes" `Quick test_phased_mixed_sizes_correct;
+          Alcotest.test_case "irrevocable serial" `Quick test_phased_malloc_still_serial;
+          Alcotest.test_case "beats serial" `Slow test_phased_beats_serial_fallback;
+        ] );
+    ]
