@@ -17,6 +17,7 @@ module Abort = Asf_core.Abort
 module Intset = Asf_intset.Intset
 module Stamp = Asf_stamp.Stamp
 module C = Asf_stamp.Stamp_common
+module Trace = Asf_trace.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Shared mode parsing                                                  *)
@@ -43,6 +44,45 @@ let print_stats stats =
   Array.iteri
     (fun i n -> if n > 0 then Printf.printf "aborts[%s]: %d\n" (Abort.class_name i) n)
     aborts
+
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Install a tracer around [run] when --trace FILE was given; afterwards
+   write the sink (CSV if FILE ends in .csv, Chrome trace-event JSON
+   otherwise) and print the per-kind event summary. *)
+let with_trace trace_file trace_filter run =
+  match trace_file with
+  | None -> run ()
+  | Some path -> (
+      let filter =
+        Option.map
+          (fun s ->
+            String.split_on_char ',' s |> List.map String.trim
+            |> List.filter (fun x -> x <> ""))
+          trace_filter
+      in
+      match try Ok (Trace.create ?filter ()) with Invalid_argument m -> Error m with
+      | Error m ->
+          (* The Trace error already lists the valid kinds. *)
+          Printf.eprintf "%s\n" m;
+          1
+      | Ok tr -> (
+          Trace.install tr;
+          let rc = Fun.protect ~finally:Trace.uninstall run in
+          match
+            if Filename.check_suffix path ".csv" then Trace.write_csv tr path
+            else Trace.write_chrome_json tr path
+          with
+          | () ->
+              Report.print (Report.of_trace ~id:"trace" tr);
+              Printf.printf "trace: %s (%d events retained)\n" path
+                (List.length (Trace.events tr));
+              rc
+          | exception Sys_error m ->
+              Printf.eprintf "cannot write trace: %s\n" m;
+              1))
 
 (* ------------------------------------------------------------------ *)
 (* repro                                                                *)
@@ -75,7 +115,7 @@ let run_one ~quick ~seed ~csv id =
       Printf.printf "[%s done in %.1fs host time]\n%!" id (Unix.gettimeofday () -. t0);
       0
 
-let repro ids all quick seed csv do_list =
+let repro ids all quick seed csv do_list trace tfilter =
   if do_list then list_experiments ()
   else
     let ids = if all then Experiments.ids () else ids in
@@ -83,13 +123,16 @@ let repro ids all quick seed csv do_list =
       Printf.eprintf "nothing to run; use -e <id>, --all, or --list\n";
       1
     end
-    else List.fold_left (fun rc id -> max rc (run_one ~quick ~seed ~csv id)) 0 ids
+    else
+      with_trace trace tfilter (fun () ->
+          List.fold_left (fun rc id -> max rc (run_one ~quick ~seed ~csv id)) 0 ids)
 
 (* ------------------------------------------------------------------ *)
 (* intset                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_intset mode structure range updates threads txns early_release seed =
+let run_intset mode structure range updates threads txns early_release seed trace tfilter =
+  with_trace trace tfilter @@ fun () ->
   let structure =
     match structure with
     | "linked-list" -> Some Intset.Linked_list
@@ -128,7 +171,8 @@ let run_intset mode structure range updates threads txns early_release seed =
 (* stamp                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_stamp app mode threads scale seed =
+let run_stamp app mode threads scale seed trace tfilter =
+  with_trace trace tfilter @@ fun () ->
   match (Stamp.of_name app, List.assoc_opt mode modes) with
   | None, _ ->
       Printf.eprintf "unknown app (%s)\n"
@@ -165,6 +209,22 @@ let mode_arg =
   Arg.(value & opt string "llb256"
        & info [ "mode"; "m" ] ~docv:"MODE" ~doc:("Execution mode: " ^ mode_names ^ "."))
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:
+             "Record a transaction-level trace and write it to $(docv): Chrome \
+              trace-event JSON (open in chrome://tracing or Perfetto), or CSV when \
+              $(docv) ends in .csv. Tracing never advances simulated time, so all \
+              reported numbers are identical with and without it.")
+
+let trace_filter_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-filter" ] ~docv:"EVENTS"
+           ~doc:
+             ("Comma-separated event kinds to record (default: all except resume). \
+               Kinds: " ^ String.concat ", " Trace.filter_names ^ "."))
+
 let repro_cmd =
   let ids =
     Arg.(value & opt_all string []
@@ -179,7 +239,9 @@ let repro_cmd =
   let list = Arg.(value & flag & info [ "list" ] ~doc:"List experiments and exit.") in
   Cmd.v
     (Cmd.info "repro" ~doc:"Reproduce the paper's tables and figures")
-    Term.(const repro $ ids $ all $ quick $ seed_arg $ csv $ list)
+    Term.(
+      const repro $ ids $ all $ quick $ seed_arg $ csv $ list $ trace_arg
+      $ trace_filter_arg)
 
 let intset_cmd =
   let structure =
@@ -199,7 +261,7 @@ let intset_cmd =
     (Cmd.info "intset" ~doc:"Run one IntegerSet configuration")
     Term.(
       const run_intset $ mode_arg $ structure $ range $ updates $ threads_arg $ txns $ er
-      $ seed_arg)
+      $ seed_arg $ trace_arg $ trace_filter_arg)
 
 let stamp_cmd =
   let app_arg =
@@ -211,7 +273,9 @@ let stamp_cmd =
   in
   Cmd.v
     (Cmd.info "stamp" ~doc:"Run one STAMP application")
-    Term.(const run_stamp $ app_arg $ mode_arg $ threads_arg $ scale $ seed_arg)
+    Term.(
+      const run_stamp $ app_arg $ mode_arg $ threads_arg $ scale $ seed_arg $ trace_arg
+      $ trace_filter_arg)
 
 let main_cmd =
   let doc =
@@ -221,13 +285,15 @@ let main_cmd =
   Cmd.group
     ~default:
       Term.(
-        const (fun ids all quick seed csv list -> repro ids all quick seed csv list)
+        const (fun ids all quick seed csv list trace tfilter ->
+            repro ids all quick seed csv list trace tfilter)
         $ Arg.(value & opt_all string [] & info [ "e"; "experiment" ] ~docv:"ID")
         $ Arg.(value & flag & info [ "all" ])
         $ Arg.(value & flag & info [ "quick" ])
         $ seed_arg
         $ Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR")
-        $ Arg.(value & flag & info [ "list" ]))
+        $ Arg.(value & flag & info [ "list" ])
+        $ trace_arg $ trace_filter_arg)
     (Cmd.info "asf_bench" ~doc)
     [ repro_cmd; intset_cmd; stamp_cmd ]
 

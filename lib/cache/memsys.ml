@@ -2,6 +2,7 @@ module Params = Asf_machine.Params
 module Engine = Asf_engine.Engine
 module Addr = Asf_mem.Addr
 module Ram = Asf_mem.Ram
+module Trace = Asf_trace.Trace
 
 type fault = Unmapped of int | Tlb_miss
 
@@ -11,6 +12,7 @@ type t = {
   ram : Ram.t;
   tlb : Tlb.t;
   hier : Hierarchy.t;
+  tracer : Trace.t;
   mutable probe_hook : requester:int -> line:int -> write:bool -> unit;
   mutable fault_hook : (core:int -> fault -> unit) option;
   mutable loads : int;
@@ -26,6 +28,7 @@ let create params engine =
     ram = Ram.create ();
     tlb = Tlb.create params ~n_cores;
     hier = Hierarchy.create params ~n_cores;
+    tracer = Trace.installed ();
     probe_hook = (fun ~requester:_ ~line:_ ~write:_ -> ());
     fault_hook = None;
     loads = 0;
@@ -43,6 +46,8 @@ let tlb t = t.tlb
 
 let hierarchy t = t.hier
 
+let tracer t = t.tracer
+
 let set_probe_hook t f = t.probe_hook <- f
 
 let set_fault_hook t f = t.fault_hook <- Some f
@@ -57,6 +62,10 @@ let deliver_fault t ~core fault =
 
 let service_fault t ~page =
   t.faults_serviced <- t.faults_serviced + 1;
+  (let core = Engine.current_core t.engine in
+   Trace.emit t.tracer ~core
+     ~cycle:(Engine.core_time t.engine core)
+     (Trace.Fault_service { page }));
   Engine.elapse t.params.page_fault_latency;
   Tlb.map_page t.tlb page
 

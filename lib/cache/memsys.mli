@@ -36,6 +36,11 @@ val tlb : t -> Tlb.t
 
 val hierarchy : t -> Hierarchy.t
 
+val tracer : t -> Asf_trace.Trace.t
+(** The tracer that was installed when this memory system was created
+    ({!Asf_trace.Trace.null} when tracing is off); shared by the layers
+    built on top (ASF core, TM runtime, STM). *)
+
 val set_probe_hook : t -> (requester:int -> line:int -> write:bool -> unit) -> unit
 
 val set_fault_hook : t -> (core:int -> fault -> unit) -> unit

@@ -3,6 +3,7 @@ module Addr = Asf_mem.Addr
 module Ram = Asf_mem.Ram
 module Memsys = Asf_cache.Memsys
 module Tlb = Asf_cache.Tlb
+module Trace = Asf_trace.Trace
 
 exception Aborted of Abort.t
 
@@ -28,6 +29,11 @@ type region = {
   (* Hybrid variants: speculatively-read lines tracked via the L1. *)
   tracked : (int, unit) Hashtbl.t;
   mutable start_time : int;
+  (* The cache line behind the most recent doom, when the hardware knows
+     it (conflicting probe, capacity displacement). Survives the abort so
+     the runtime can attribute it; cleared at the next outermost
+     SPECULATE. *)
+  mutable last_conflict : int option;
 }
 
 type t = {
@@ -38,6 +44,7 @@ type t = {
   requester_wins : bool;
   regions : region array;
   quantum : int;
+  tracer : Trace.t;
   mutable speculates : int;
   mutable commits : int;
   aborts : int array;
@@ -55,10 +62,11 @@ let region t core = t.regions.(core)
    hardware answers the conflicting probe only after write-back, so the
    requester's access (which reads RAM after this hook) sees pre-
    transactional data. *)
-let doom t core reason =
+let doom ?line t core reason =
   let r = region t core in
   if r.active && r.doomed = None then begin
     r.doomed <- Some reason;
+    r.last_conflict <- line;
     let ram = Memsys.ram t.mem in
     Llb.iter_written r.llb (fun line backup -> Ram.write_line ram line backup);
     Llb.clear r.llb;
@@ -81,7 +89,12 @@ let resolve t ~requester ~line ~write =
   Array.iteri
     (fun core r ->
       if core <> requester && r.active && r.doomed = None then
-        if region_conflicts t r ~line ~write then doom t core Abort.Contention)
+        if region_conflicts t r ~line ~write then begin
+          doom ~line t core Abort.Contention;
+          Trace.emit t.tracer ~core
+            ~cycle:(Engine.core_time t.engine core)
+            (Trace.Probe_rollback { requester; line_addr = Addr.line_base line })
+        end)
     t.regions
 
 let any_remote_conflict t ~requester ~line ~write =
@@ -105,10 +118,10 @@ let finish_abort t core =
   Engine.elapse t.costs.abort_cycles;
   raise (Aborted reason)
 
-let self_abort t ~core reason =
+let self_abort ?line t ~core reason =
   let r = region t core in
   if not r.active then invalid_arg "Asf.self_abort: no active region";
-  doom t core reason;
+  doom ?line t core reason;
   finish_abort t core
 
 (* Interrupts abort in-flight regions: a region whose lifetime crosses a
@@ -146,8 +159,10 @@ let create ?(costs = default_costs) ?(requester_wins = true) mem variant =
               llb = Llb.create ~capacity:variant.Variant.llb_entries;
               tracked = Hashtbl.create 64;
               start_time = 0;
+              last_conflict = None;
             });
       quantum = (Memsys.params mem).Asf_machine.Params.interrupt_quantum;
+      tracer = Memsys.tracer mem;
       speculates = 0;
       commits = 0;
       aborts = Array.make Abort.n_classes 0;
@@ -169,7 +184,12 @@ let create ?(costs = default_costs) ?(requester_wins = true) mem variant =
             if
               (Hashtbl.mem r.tracked line && not written)
               || (written && variant.Variant.l1_write_set)
-            then doom t core Abort.Capacity
+            then begin
+              Trace.emit t.tracer ~core
+                ~cycle:(Engine.core_time t.engine core)
+                (Trace.Cache_evict { level = "L1"; line_addr = Addr.line_base line });
+              doom ~line t core Abort.Capacity
+            end
           end)
     done;
   Memsys.set_fault_hook mem (fun ~core fault ->
@@ -196,6 +216,7 @@ let speculate t ~core =
     r.active <- true;
     r.nesting <- 1;
     r.doomed <- None;
+    r.last_conflict <- None;
     r.start_time <- Engine.core_time t.engine core;
     t.speculates <- t.speculates + 1;
     Engine.elapse t.costs.speculate_cycles
@@ -223,7 +244,7 @@ let track_read t core line =
   if not (Llb.written r.llb line) then
     if t.variant.Variant.l1_read_set then Hashtbl.replace r.tracked line ()
     else if not (Llb.protect_read r.llb line) then
-      self_abort t ~core Abort.Capacity
+      self_abort ~line t ~core Abort.Capacity
 
 (* Requester-loses ablation: a speculative access that would conflict
    with another region aborts itself before touching memory, leaving the
@@ -259,7 +280,7 @@ let prepare_store t ~core addr =
   if not (Llb.written r.llb line) then begin
     let backup = Ram.read_line (Memsys.ram t.mem) line in
     if not (Llb.protect_write r.llb line ~backup) then
-      self_abort t ~core Abort.Capacity;
+      self_abort ~line t ~core Abort.Capacity;
     if t.variant.Variant.l1_read_set then Hashtbl.remove r.tracked line
   end
 
@@ -297,6 +318,9 @@ let plain_store t ~core addr v =
   Memsys.store t.mem ~core ~speculative:false addr v
 
 let in_region t ~core = (region t core).active
+
+let last_conflict t ~core =
+  Option.map Addr.line_base (region t core).last_conflict
 
 let protected_lines t ~core =
   let r = region t core in

@@ -99,11 +99,18 @@ val plain_store : t -> core:int -> Asf_mem.Addr.t -> int -> unit
 
 (** {1 Runtime support} *)
 
-val self_abort : t -> core:int -> Abort.t -> 'a
+val self_abort : ?line:int -> t -> core:int -> Abort.t -> 'a
 (** Roll back the calling core's region and raise {!Aborted} with the given
-    reason (used by ASF-TM for [Syscall] and [Malloc] aborts). *)
+    reason (used by ASF-TM for [Syscall] and [Malloc] aborts). [line] is
+    the cache line responsible, when known (recorded for tracing). *)
 
 val in_region : t -> core:int -> bool
+
+val last_conflict : t -> core:int -> int option
+(** Base address of the cache line behind this core's most recent abort —
+    the conflicting line of a requester-wins probe, or the line whose
+    capacity displacement doomed the region — when the hardware knows it.
+    Survives the abort; cleared at the next outermost SPECULATE. *)
 
 val protected_lines : t -> core:int -> int
 (** Current protected-set size in lines (read + write). *)

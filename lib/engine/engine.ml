@@ -1,3 +1,5 @@
+module Trace = Asf_trace.Trace
+
 type task =
   | Start of int * (unit -> unit)
   | Resume of int * (unit, unit) Effect.Deep.continuation
@@ -10,6 +12,7 @@ type t = {
   mutable live : int;
   mutable current : int;
   mutable events : int;
+  tracer : Trace.t;
 }
 
 type _ Effect.t += Elapse : int -> unit Effect.t
@@ -24,6 +27,7 @@ let create ~n_cores =
     live = 0;
     current = 0;
     events = 0;
+    tracer = Trace.installed ();
   }
 
 let n_cores t = t.n_cores
@@ -35,6 +39,7 @@ let enqueue t ~time task =
 let spawn t ~core f =
   if core < 0 || core >= t.n_cores then invalid_arg "Engine.spawn: bad core";
   t.live <- t.live + 1;
+  Trace.emit t.tracer ~core ~cycle:t.core_time.(core) Trace.Thread_spawn;
   enqueue t ~time:t.core_time.(core) (Start (core, f))
 
 let elapse n = Effect.perform (Elapse n)
@@ -45,7 +50,10 @@ let elapse n = Effect.perform (Elapse n)
 let exec t core f =
   Effect.Deep.match_with f ()
     {
-      retc = (fun () -> t.live <- t.live - 1);
+      retc =
+        (fun () ->
+          t.live <- t.live - 1;
+          Trace.emit t.tracer ~core ~cycle:t.core_time.(core) Trace.Thread_finish);
       exnc = (fun e -> raise e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -70,6 +78,7 @@ let run t =
         exec t core f
     | Resume (core, k) ->
         t.current <- core;
+        Trace.emit t.tracer ~core ~cycle:time Trace.Thread_resume;
         Effect.Deep.continue k ()
   done
 

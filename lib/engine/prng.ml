@@ -15,12 +15,16 @@ let split g = { state = next64 g }
 
 let copy g = { state = g.state }
 
-(* Take the top bits (better distributed than the low bits) and reduce
-   modulo [n]. The modulo bias is negligible for the [n] used here. *)
+(* Reduce from the top bits: a fixed-point multiply of [n] by the high
+   32 bits of the mixed state, i.e. floor (n * hi / 2^32). Unlike
+   [v mod n] — which consumes the *low* bits of [v] — this makes the
+   result's coarse value follow the state's most significant (and best
+   mixed) bits. The truncation bias is at most [n / 2^32] per bucket,
+   negligible for the [n] used here. *)
 let int g n =
-  assert (n > 0);
-  let v = Int64.to_int (Int64.shift_right_logical (next64 g) 2) in
-  v mod n
+  assert (n > 0 && n <= 0x4000_0000);
+  let hi = Int64.shift_right_logical (next64 g) 32 in
+  Int64.to_int (Int64.shift_right_logical (Int64.mul hi (Int64.of_int n)) 32)
 
 let bool g = Int64.logand (next64 g) 1L = 1L
 

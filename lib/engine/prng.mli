@@ -22,7 +22,9 @@ val next64 : t -> int64
 (** Raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int g n] is uniform in [\[0, n)]. [n] must be positive. *)
+(** [int g n] is uniform in [\[0, n)], reduced from the generator's high
+    bits (fixed-point scaling, not a low-bit modulo). [n] must be in
+    [\[1, 2^30\]]. *)
 
 val bool : t -> bool
 

@@ -54,6 +54,25 @@ let save_csv ~dir t =
   close_out oc;
   path
 
+let of_trace ~id tr =
+  let module Trace = Asf_trace.Trace in
+  let rows =
+    List.filter_map
+      (fun (name, n) -> if n = 0 then None else Some [ name; string_of_int n ])
+      (Trace.counts tr)
+  in
+  let dropped = Trace.dropped tr in
+  let rows =
+    if dropped > 0 then rows @ [ [ "(dropped)"; string_of_int dropped ] ] else rows
+  in
+  make ~id ~title:"trace event summary"
+    ~notes:
+      (if dropped > 0 then
+         [ "ring buffers overflowed; oldest events were dropped — raise the \
+            capacity or narrow --trace-filter" ]
+       else [])
+    [ "event"; "count" ] rows
+
 let f1 x = Printf.sprintf "%.1f" x
 
 let f2 x = Printf.sprintf "%.2f" x

@@ -21,6 +21,11 @@ val to_csv : t -> string
 val save_csv : dir:string -> t -> string
 (** Writes [<dir>/<id>.csv] (creating [dir]) and returns the path. *)
 
+val of_trace : id:string -> Asf_trace.Trace.t -> t
+(** Summary table of a tracer's per-kind event counts (zero-count kinds
+    omitted), with a trailing row and note when ring-buffer overflow
+    dropped events. *)
+
 (** {1 Cell formatting helpers} *)
 
 val f1 : float -> string

@@ -2,6 +2,7 @@ module Engine = Asf_engine.Engine
 module Addr = Asf_mem.Addr
 module Alloc = Asf_mem.Alloc
 module Memsys = Asf_cache.Memsys
+module Trace = Asf_trace.Trace
 
 exception Stm_abort
 
@@ -151,6 +152,10 @@ let rollback tx =
   Hashtbl.iter (fun orec old_word -> mem_store tx orec old_word) tx.owned;
   tx.running <- false;
   tx.stm.aborts <- tx.stm.aborts + 1;
+  (let tr = Memsys.tracer tx.stm.mem in
+   Trace.emit tr ~core:tx.core
+     ~cycle:(Engine.core_time (Memsys.engine tx.stm.mem) tx.core)
+     (Trace.Stm_rollback { reads = tx.nreads; writes = tx.nwrites }));
   Engine.elapse tx.stm.costs.abort_cycles
 
 let abort tx =

@@ -73,6 +73,10 @@ let exit_ t ~now =
   t.cur <- Stack.pop t.stack
 
 let begin_attempt t ~now =
+  (* The previous attempt must have been closed by [commit_attempt] or
+     [abort_attempt]; both fold [attempt_cycles] into [cycles] first, so
+     the reset below can never drop attributed cycles. *)
+  assert (not t.in_attempt);
   flush t ~now;
   t.in_attempt <- true;
   t.attempts <- t.attempts + 1;
@@ -96,6 +100,8 @@ let abort_attempt t ~now reason =
   t.cycles.(cat_abort_waste) <- t.cycles.(cat_abort_waste) + wasted;
   let i = Abort.index reason in
   t.aborts.(i) <- t.aborts.(i) + 1
+
+let finalize t ~now = flush t ~now
 
 let commits t = t.commits
 

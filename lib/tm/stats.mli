@@ -58,6 +58,12 @@ val abort_attempt : t -> now:int -> Asf_core.Abort.t -> unit
 (** Folds the attempt's cycles into {!cat_abort_waste} and counts the
     abort under its {!Asf_core.Abort.index} class. *)
 
+val finalize : t -> now:int -> unit
+(** Flush the cycles since the last category change (called when a thread
+    ends). Afterwards the category totals in {!cycles} sum to exactly the
+    thread's simulated lifetime — the invariant
+    [sum(categories) = total simulated cycles]. *)
+
 (** {1 Results} *)
 
 val commits : t -> int

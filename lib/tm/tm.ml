@@ -9,6 +9,7 @@ module Abort = Asf_core.Abort
 module Variant = Asf_core.Variant
 module Asf = Asf_core.Asf
 module Stm = Asf_stm.Tinystm
+module Trace = Asf_trace.Trace
 
 type mode = Asf_mode of Variant.t | Stm_mode | Seq_mode | Phased_mode of Variant.t
 
@@ -77,6 +78,7 @@ type system = {
   serial_lock : Addr.t;
   phase_word : Addr.t;  (** serial_lock + 1; 0 = hardware phase *)
   phase : phase_state option;
+  tracer : Trace.t;
 }
 
 type ctx = {
@@ -127,7 +129,20 @@ let create cfg =
           }
     | Asf_mode _ | Stm_mode | Seq_mode -> None
   in
-  { cfg; engine; mem; galloc; asf; stm; serial_lock; phase_word = serial_lock + 1; phase }
+  let tracer = Memsys.tracer mem in
+  Trace.run_start tracer;
+  {
+    cfg;
+    engine;
+    mem;
+    galloc;
+    asf;
+    stm;
+    serial_lock;
+    phase_word = serial_lock + 1;
+    phase;
+    tracer;
+  }
 
 let engine t = t.engine
 
@@ -163,6 +178,8 @@ let prng ctx = ctx.prng
 let stats ctx = ctx.stats
 
 let now ctx = Engine.core_time ctx.sys.engine ctx.core
+
+let emit ctx payload = Trace.emit ctx.sys.tracer ~core:ctx.core ~cycle:(now ctx) payload
 
 let with_cat ctx cat f =
   Stats.enter ctx.stats ~now:(now ctx) cat;
@@ -278,25 +295,35 @@ let in_body ctx path f =
 
 let run_serial ctx f =
   Stats.begin_attempt ctx.stats ~now:(now ctx);
+  emit ctx Trace.Tx_begin;
   Txmalloc.attempt_begin ctx.pool;
   with_cat ctx Stats.cat_start_commit (fun () -> acquire_serial ctx);
+  emit ctx Trace.Fallback_enter;
   let r = in_body ctx Serial (fun () -> with_cat ctx Stats.cat_non_instr f) in
+  emit ctx Trace.Fallback_exit;
   with_cat ctx Stats.cat_start_commit (fun () -> release_serial ctx);
   Txmalloc.attempt_commit ctx.pool;
   Stats.commit_attempt ctx.stats ~now:(now ctx) ~serial:true;
+  emit ctx (Trace.Tx_commit { serial = true });
   r
 
 (* ------------------------------------------------------------------ *)
 (* ASF execution path                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Exponential back-off window after [retries] contention aborts: doubles
+   from 64 cycles and saturates at [64 lsl 10 = 65536] cycles — the single
+   place the maximum window is defined. *)
+let backoff_window retries = 64 lsl min retries 10
+
 let do_backoff ctx retries =
   with_cat ctx Stats.cat_abort_waste (fun () ->
-      if ctx.sys.cfg.backoff then begin
-        let window = min (64 lsl min retries 10) 65536 in
-        Engine.elapse (16 + Prng.int ctx.prng window)
-      end
-      else Engine.elapse 16)
+      let delay =
+        if ctx.sys.cfg.backoff then 16 + Prng.int ctx.prng (backoff_window retries)
+        else 16
+      in
+      emit ctx (Trace.Backoff { cycles = delay });
+      Engine.elapse delay)
 
 let service_pending_fault ctx =
   match ctx.pending_fault with
@@ -315,6 +342,7 @@ let rec asf_attempt ctx f retries =
   else begin
     let a = the_asf ctx in
     Stats.begin_attempt ctx.stats ~now:(now ctx);
+    emit ctx Trace.Tx_begin;
     Txmalloc.attempt_begin ctx.pool;
     match
       with_cat ctx Stats.cat_start_commit (fun () ->
@@ -340,10 +368,21 @@ let rec asf_attempt ctx f retries =
     | r ->
         Txmalloc.attempt_commit ctx.pool;
         Stats.commit_attempt ctx.stats ~now:(now ctx) ~serial:false;
+        emit ctx (Trace.Tx_commit { serial = false });
         r
     | exception Asf.Aborted reason -> (
         Txmalloc.attempt_abort ctx.pool;
         Stats.abort_attempt ctx.stats ~now:(now ctx) reason;
+        (let addr =
+           match reason with
+           | Abort.Contention | Abort.Capacity ->
+               Asf.last_conflict (the_asf ctx) ~core:ctx.core
+           | Abort.Page_fault page -> Some (Addr.page_base page)
+           | _ -> None
+         in
+         emit ctx
+           (Trace.Tx_abort
+              { abort_class = Abort.class_name (Abort.index reason); addr }));
         match reason with
         | Abort.Page_fault page ->
             (* Service the fault and retry: the access will then succeed
@@ -433,6 +472,7 @@ and phased_dispatch ctx f =
 and stm_attempt ctx f retries =
   let tx = the_tx ctx in
   Stats.begin_attempt ctx.stats ~now:(now ctx);
+  emit ctx Trace.Tx_begin;
   Txmalloc.attempt_begin ctx.pool;
   match
     with_cat ctx Stats.cat_start_commit (fun () -> Stm.start tx);
@@ -443,10 +483,14 @@ and stm_attempt ctx f retries =
   | r ->
       Txmalloc.attempt_commit ctx.pool;
       Stats.commit_attempt ctx.stats ~now:(now ctx) ~serial:false;
+      emit ctx (Trace.Tx_commit { serial = false });
       r
   | exception Stm.Stm_abort ->
       Txmalloc.attempt_abort ctx.pool;
       Stats.abort_attempt ctx.stats ~now:(now ctx) Abort.Contention;
+      emit ctx
+        (Trace.Tx_abort
+           { abort_class = Abort.class_name (Abort.index Abort.Contention); addr = None });
       do_backoff ctx retries;
       stm_attempt ctx f (retries + 1)
 
@@ -465,8 +509,10 @@ let atomic ctx f =
         (* Uninstrumented baseline; still counted as a committed
            transaction so commit totals are comparable across modes. *)
         Stats.begin_attempt ctx.stats ~now:(now ctx);
+        emit ctx Trace.Tx_begin;
         let r = in_body ctx Direct f in
         Stats.commit_attempt ctx.stats ~now:(now ctx) ~serial:false;
+        emit ctx (Trace.Tx_commit { serial = false });
         r
     | Stm_mode -> stm_attempt ctx f 0
     | Asf_mode _ -> asf_attempt ctx f 0
@@ -505,7 +551,11 @@ let setup_alloc sys words =
 
 let spawn sys ~core f =
   let ctx = make_ctx sys ~core in
-  Engine.spawn sys.engine ~core (fun () -> f ctx);
+  Engine.spawn sys.engine ~core (fun () ->
+      (* Close the cycle accounting when the thread ends, so the category
+         totals sum to the thread's exact simulated lifetime. *)
+      Fun.protect ~finally:(fun () -> Stats.finalize ctx.stats ~now:(now ctx)) (fun () ->
+          f ctx));
   ctx
 
 let run sys = Engine.run sys.engine

@@ -89,6 +89,12 @@ val stats : ctx -> Stats.t
 val now : ctx -> int
 (** Current cycle on this context's core. *)
 
+val backoff_window : int -> int
+(** [backoff_window retries] is the exponential back-off window (in cycles)
+    sampled from after [retries] contention aborts: [64 lsl min retries 10],
+    i.e. doubling from 64 and saturating at 65536 cycles. Exposed for
+    tests; {!config.backoff} controls whether it is used at all. *)
+
 (** {1 Transactions} *)
 
 val atomic : ctx -> (unit -> 'a) -> 'a

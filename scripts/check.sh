@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-1 verification: full build (libraries, executables, examples,
+# benches) followed by the complete test suite. Run from the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+echo "check.sh: build and tests OK"

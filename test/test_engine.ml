@@ -79,6 +79,39 @@ let test_prng_rough_uniformity () =
         (frac > 0.08 && frac < 0.12))
     buckets
 
+(* Distribution sanity for the top-bit fixed-point reduction: across
+   random seeds and bucket counts, every bucket of [int g n] stays within
+   20% of uniform over 30k draws. A reduction that consumed the wrong
+   bits (or a biased modulo) shows up here. *)
+let prop_prng_buckets_uniform =
+  QCheck.Test.make ~name:"prng int buckets near-uniform across seeds" ~count:25
+    QCheck.(pair (int_range 0 10_000) (int_range 2 32))
+    (fun (seed, n) ->
+      let g = Prng.create seed in
+      let draws = 30_000 in
+      let buckets = Array.make n 0 in
+      for _ = 1 to draws do
+        let v = Prng.int g n in
+        buckets.(v) <- buckets.(v) + 1
+      done;
+      let expect = float_of_int draws /. float_of_int n in
+      Array.for_all
+        (fun c ->
+          let r = float_of_int c /. expect in
+          r > 0.8 && r < 1.2)
+        buckets)
+
+let test_prng_uses_high_bits () =
+  (* [int] reduces from the top 32 bits of the raw output — as documented:
+     a copy of the generator predicts it as floor (n * hi32 / 2^32). *)
+  let g = Prng.create 99 in
+  let h = Prng.copy g in
+  let n = 1000 in
+  for _ = 1 to 1000 do
+    let hi = Int64.to_int (Int64.shift_right_logical (Prng.next64 h) 32) in
+    Alcotest.(check int) "floor (n*hi/2^32)" (hi * n / 65536 / 65536) (Prng.int g n)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -301,7 +334,9 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
           Alcotest.test_case "split" `Quick test_prng_split_independent;
           Alcotest.test_case "uniformity" `Quick test_prng_rough_uniformity;
+          Alcotest.test_case "high bits" `Quick test_prng_uses_high_bits;
           q prop_prng_range;
+          q prop_prng_buckets_uniform;
         ] );
       ( "engine",
         [

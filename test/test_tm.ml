@@ -291,6 +291,78 @@ let test_cycle_categories_cover_txn_time () =
   in
   Alcotest.(check bool) "inside <= makespan" true (inside <= Tm.makespan sys)
 
+let test_aborted_cycles_folded_into_waste () =
+  (* Regression: all cycles of an aborted attempt — whatever category they
+     accrued under — must land in cat_abort_waste before the per-attempt
+     buffer is reset, and committed time must keep its categories. *)
+  let st = Stats.create () in
+  Stats.begin_attempt st ~now:0;
+  Stats.enter st ~now:0 Stats.cat_app;
+  Stats.exit_ st ~now:70;
+  (* 70 app cycles + 30 trailing outside-category cycles, all wasted. *)
+  Stats.abort_attempt st ~now:100 Abort.Contention;
+  let cy = Stats.cycles st in
+  Alcotest.(check int) "aborted attempt fully in abort_waste" 100
+    cy.(Stats.cat_abort_waste);
+  Alcotest.(check int) "no app cycles leaked" 0 cy.(Stats.cat_app);
+  (* 20 cycles between attempts are outside-tx time. *)
+  Stats.begin_attempt st ~now:120;
+  Stats.enter st ~now:120 Stats.cat_app;
+  Stats.exit_ st ~now:150;
+  Stats.commit_attempt st ~now:150 ~serial:false;
+  let cy = Stats.cycles st in
+  Alcotest.(check int) "committed app cycles kept" 30 cy.(Stats.cat_app);
+  Alcotest.(check int) "gap counted outside" 20 cy.(Stats.cat_outside);
+  Alcotest.(check int) "attempts" 2 (Stats.attempts st);
+  Alcotest.(check int) "commits" 1 (Stats.commits st);
+  Alcotest.(check int) "aborts" 1 (Stats.total_aborts st);
+  (* The telescoping invariant: categories sum to total simulated time. *)
+  Alcotest.(check int) "sum(categories) = elapsed" 150
+    (Array.fold_left ( + ) 0 cy)
+
+let test_categories_sum_to_core_time () =
+  (* End-to-end invariant: after a run, each thread's category totals sum
+     to exactly its core's final clock ([Tm.spawn] finalizes the stats
+     when the thread ends). Contended LLB-8 exercises the abort path. *)
+  let n_cores = 4 in
+  let sys = mk ~n_cores (Tm.Asf_mode Variant.llb8) in
+  let counter = Tm.setup_alloc sys 1 in
+  Tm.setup_poke sys counter 0;
+  let ctxs =
+    List.init n_cores (fun core ->
+        Tm.spawn sys ~core (fun ctx ->
+            for _ = 1 to 150 do
+              Tm.atomic ctx (fun () ->
+                  let v = Tm.load ctx counter in
+                  Tm.work ctx 25;
+                  Tm.store ctx counter (v + 1))
+            done))
+  in
+  Tm.run sys;
+  List.iteri
+    (fun core ctx ->
+      let total = Array.fold_left ( + ) 0 (Stats.cycles (Tm.stats ctx)) in
+      Alcotest.(check int)
+        (Printf.sprintf "core %d: sum(categories) = core time" core)
+        (Engine.core_time (Tm.engine sys) core)
+        total)
+    ctxs
+
+let test_backoff_window_monotone_and_capped () =
+  let prev = ref 0 in
+  for r = 0 to 20 do
+    let w = Tm.backoff_window r in
+    Alcotest.(check bool)
+      (Printf.sprintf "monotone at retry %d" r)
+      true (w >= !prev);
+    Alcotest.(check bool) (Printf.sprintf "capped at retry %d" r) true (w <= 65536);
+    prev := w
+  done;
+  Alcotest.(check int) "starts at 64" 64 (Tm.backoff_window 0);
+  Alcotest.(check int) "doubles" 128 (Tm.backoff_window 1);
+  Alcotest.(check int) "saturates at 65536" 65536 (Tm.backoff_window 10);
+  Alcotest.(check int) "stays saturated" 65536 (Tm.backoff_window 1000)
+
 let test_stm_mode_has_no_serial () =
   let total, ctxs = counter_run Tm.Stm_mode 4 50 in
   Alcotest.(check int) "correct" 200 total;
@@ -439,7 +511,17 @@ let () =
       ( "annotation",
         [ Alcotest.test_case "capacity relief" `Quick test_annotation_avoids_capacity ] );
       ( "accounting",
-        [ Alcotest.test_case "categories" `Quick test_cycle_categories_cover_txn_time ] );
+        [
+          Alcotest.test_case "categories" `Quick test_cycle_categories_cover_txn_time;
+          Alcotest.test_case "abort waste folding" `Quick
+            test_aborted_cycles_folded_into_waste;
+          Alcotest.test_case "sum = core time" `Quick test_categories_sum_to_core_time;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "window monotone, capped" `Quick
+            test_backoff_window_monotone_and_capped;
+        ] );
       ( "txmalloc",
         [
           Alcotest.test_case "rounding/reuse" `Quick test_txmalloc_rounding_and_reuse;

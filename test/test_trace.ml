@@ -1,0 +1,229 @@
+(* Tests for the transaction-level tracing subsystem: ring-buffer bounds,
+   event filtering, per-core timestamp monotonicity, trace-on/off
+   equivalence of experiment numbers, and sink well-formedness. *)
+
+module Engine = Asf_engine.Engine
+module Addr = Asf_mem.Addr
+module Variant = Asf_core.Variant
+module Stats = Asf_tm_rt.Stats
+module Tm = Asf_tm_rt.Tm
+module Intset = Asf_intset.Intset
+module Trace = Asf_trace.Trace
+
+(* ------------------------------------------------------------------ *)
+(* Unit: rings, filters, attempt ids                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_bounded () =
+  let tr = Trace.create ~capacity_per_core:4 () in
+  for i = 1 to 10 do
+    Trace.emit tr ~core:0 ~cycle:i Trace.Tx_begin
+  done;
+  Alcotest.(check int) "ring keeps newest 4" 4 (List.length (Trace.events tr));
+  Alcotest.(check int) "6 dropped" 6 (Trace.dropped tr);
+  (* Counts survive the drops. *)
+  Alcotest.(check int) "counts unaffected" 10 (List.assoc "Tx_begin" (Trace.counts tr));
+  (* The retained events are the newest ones, still in order. *)
+  let cycles = List.map (fun e -> e.Trace.cycle) (Trace.events tr) in
+  Alcotest.(check (list int)) "newest retained" [ 7; 8; 9; 10 ] cycles
+
+let test_filter () =
+  let tr = Trace.create ~filter:[ "abort" ] () in
+  Trace.emit tr ~core:0 ~cycle:1 Trace.Tx_begin;
+  Trace.emit tr ~core:0 ~cycle:2 (Trace.Tx_abort { abort_class = "contention"; addr = None });
+  Trace.emit tr ~core:0 ~cycle:3 Trace.Tx_begin;
+  Trace.emit tr ~core:0 ~cycle:4 (Trace.Tx_commit { serial = false });
+  (match Trace.events tr with
+  | [ e ] ->
+      Alcotest.(check int) "only the abort retained" 2 e.Trace.cycle;
+      (* Filtered-out Tx_begins still advance the attempt id. *)
+      Alcotest.(check int) "abort belongs to attempt 1" 1 e.Trace.attempt
+  | l -> Alcotest.failf "expected 1 event, got %d" (List.length l));
+  match Trace.create ~filter:[ "bogus" ] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown filter name must be rejected"
+
+let test_disabled_emits_nothing () =
+  let tr = Trace.create () in
+  Trace.set_enabled tr false;
+  Trace.emit tr ~core:0 ~cycle:1 Trace.Tx_begin;
+  Alcotest.(check int) "no events" 0 (List.length (Trace.events tr));
+  Alcotest.(check int) "null tracer inert" 0
+    (Trace.emit Trace.null ~core:0 ~cycle:1 Trace.Tx_begin;
+     List.length (Trace.events Trace.null))
+
+(* ------------------------------------------------------------------ *)
+(* A contended workload under trace                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared-counter increments on LLB-8 across [n_cores]: heavy contention,
+   so the trace sees begins, commits, aborts, probe rollbacks and
+   back-offs. Returns (final counter value, aggregated stats, makespan). *)
+let counter_run ?seed:(s = 1) n_cores per_core =
+  let cfg = { (Tm.default_config (Tm.Asf_mode Variant.llb8) ~n_cores) with Tm.seed = s } in
+  let sys = Tm.create cfg in
+  let counter = Tm.setup_alloc sys 1 in
+  Tm.setup_poke sys counter 0;
+  let ctxs =
+    List.init n_cores (fun core ->
+        Tm.spawn sys ~core (fun ctx ->
+            for _ = 1 to per_core do
+              Tm.atomic ctx (fun () ->
+                  let v = Tm.load ctx counter in
+                  Tm.work ctx 20;
+                  Tm.store ctx counter (v + 1))
+            done))
+  in
+  Tm.run sys;
+  let agg = Stats.create () in
+  List.iter (fun c -> Stats.add (Tm.stats c) ~into:agg) ctxs;
+  (Tm.setup_peek sys counter, agg, Tm.makespan sys)
+
+let with_tracer ?filter f =
+  let tr = Trace.create ?filter () in
+  Trace.install tr;
+  let r = Fun.protect ~finally:Trace.uninstall f in
+  (tr, r)
+
+let test_traced_run_sees_lifecycle () =
+  let tr, (total, agg, _) = with_tracer (fun () -> counter_run 4 100) in
+  Alcotest.(check int) "no lost updates" 400 total;
+  let count name = List.assoc name (Trace.counts tr) in
+  Alcotest.(check int) "one Tx_begin per attempt" (Stats.attempts agg) (count "Tx_begin");
+  Alcotest.(check int) "one Tx_commit per commit" (Stats.commits agg) (count "Tx_commit");
+  Alcotest.(check int) "one Tx_abort per abort" (Stats.total_aborts agg) (count "Tx_abort");
+  Alcotest.(check bool) "contention produced aborts" true (count "Tx_abort" > 0);
+  Alcotest.(check bool) "requester-wins probes seen" true (count "Probe_rollback" > 0);
+  Alcotest.(check int) "spawn/finish per core" 4 (count "Thread_spawn");
+  Alcotest.(check int) "finish per core" 4 (count "Thread_finish")
+
+(* qcheck property: per-core event timestamps never go backwards, over
+   randomly sized contended runs. *)
+let prop_monotone_per_core =
+  QCheck.Test.make ~name:"trace: per-core timestamps are monotone" ~count:20
+    QCheck.(pair (int_range 1 4) (int_range 1 60))
+    (fun (n_cores, per_core) ->
+      let tr, _ = with_tracer (fun () -> counter_run n_cores per_core) in
+      List.for_all
+        (fun core ->
+          let evs = Trace.core_events tr ~core in
+          let rec mono = function
+            | a :: (b :: _ as rest) -> a.Trace.cycle <= b.Trace.cycle && mono rest
+            | _ -> true
+          in
+          mono evs)
+        (List.init n_cores Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence: tracing must not change any experiment number           *)
+(* ------------------------------------------------------------------ *)
+
+let intset_run () =
+  let cfg =
+    {
+      (Intset.default_cfg Intset.Skip_list) with
+      Intset.range = 256;
+      update_pct = 50;
+      txns_per_thread = 150;
+    }
+  in
+  let tm = { (Tm.default_config (Tm.Asf_mode Variant.llb8) ~n_cores:4) with Tm.seed = 3 } in
+  Intset.run tm ~threads:4 cfg
+
+let test_trace_off_equivalence () =
+  let _tr, traced = with_tracer intset_run in
+  let plain = intset_run () in
+  Alcotest.(check int) "identical cycles" plain.Intset.cycles traced.Intset.cycles;
+  Alcotest.(check (float 0.0)) "identical throughput" plain.Intset.throughput_tx_per_us
+    traced.Intset.throughput_tx_per_us;
+  Alcotest.(check int) "identical commits" (Stats.commits plain.Intset.stats)
+    (Stats.commits traced.Intset.stats);
+  Alcotest.(check int) "identical aborts" (Stats.total_aborts plain.Intset.stats)
+    (Stats.total_aborts traced.Intset.stats);
+  Alcotest.(check bool) "both size-checked" plain.Intset.size_ok traced.Intset.size_ok;
+  (* And the counter workload: same final memory and makespan. *)
+  let _tr, (t1, _, m1) = with_tracer (fun () -> counter_run ~seed:5 3 80) in
+  let t2, _, m2 = counter_run ~seed:5 3 80 in
+  Alcotest.(check int) "counter: same final memory" t2 t1;
+  Alcotest.(check int) "counter: same makespan" m2 m1
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal JSON well-formedness scanner (no JSON library in the test
+   environment): brackets and braces balance outside of strings, strings
+   close, and the document is a single object. *)
+let json_well_formed s =
+  let depth = ref 0 and ok = ref true and in_str = ref false and esc = ref false in
+  let closed_at_zero = ref false in
+  String.iter
+    (fun c ->
+      if !in_str then
+        if !esc then esc := false
+        else if c = '\\' then esc := true
+        else if c = '"' then in_str := false
+        else ()
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' ->
+            if !closed_at_zero then ok := false;
+            incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false;
+            if !depth = 0 then closed_at_zero := true
+        | _ -> ())
+    s;
+  !ok && (not !in_str) && !depth = 0 && !closed_at_zero
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_chrome_json_sink () =
+  let tr, _ = with_tracer (fun () -> counter_run 4 100) in
+  let js = Trace.chrome_json tr in
+  Alcotest.(check bool) "JSON well-formed" true (json_well_formed js);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " present") true (contains ~sub:("\"" ^ name ^ "\"") js))
+    [ "Tx_begin"; "Tx_commit"; "Tx_abort"; "traceEvents" ];
+  (* Span reconstruction emits complete events. *)
+  Alcotest.(check bool) "tx spans present" true (contains ~sub:"\"ph\":\"X\"" js)
+
+let test_csv_sink () =
+  let tr, _ = with_tracer (fun () -> counter_run 2 40) in
+  let lines = String.split_on_char '\n' (String.trim (Trace.csv tr)) in
+  (match lines with
+  | header :: _ ->
+      Alcotest.(check string) "header" "run,core,cycle,attempt,event,detail" header
+  | [] -> Alcotest.fail "empty csv");
+  Alcotest.(check int) "one row per retained event"
+    (List.length (Trace.events tr))
+    (List.length lines - 1)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "ring bounded" `Quick test_ring_bounded;
+          Alcotest.test_case "filter" `Quick test_filter;
+          Alcotest.test_case "disabled" `Quick test_disabled_emits_nothing;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "lifecycle counts" `Quick test_traced_run_sees_lifecycle;
+          QCheck_alcotest.to_alcotest prop_monotone_per_core;
+        ] );
+      ( "equivalence",
+        [ Alcotest.test_case "trace on/off" `Quick test_trace_off_equivalence ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "chrome json" `Quick test_chrome_json_sink;
+          Alcotest.test_case "csv" `Quick test_csv_sink;
+        ] );
+    ]
