@@ -18,6 +18,7 @@ module Intset = Asf_intset.Intset
 module Stamp = Asf_stamp.Stamp
 module C = Asf_stamp.Stamp_common
 module Trace = Asf_trace.Trace
+module Check = Asf_check.Check
 
 (* ------------------------------------------------------------------ *)
 (* Shared mode parsing                                                  *)
@@ -85,6 +86,44 @@ let with_trace trace_file trace_filter run =
               1))
 
 (* ------------------------------------------------------------------ *)
+(* Checking                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Install a checker around [run] when --check was given; afterwards print
+   the findings table and fail the invocation if any guarantee was
+   violated. Like tracing, checking never advances simulated time, so all
+   reported numbers are identical with and without it. *)
+let with_check check run =
+  match check with
+  | None -> run ()
+  | Some spec -> (
+      let names =
+        String.split_on_char ',' spec |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      match
+        try Ok (Check.parts_of_names names) with Invalid_argument m -> Error m
+      with
+      | Error m ->
+          Printf.eprintf "%s (valid parts: isolation, serial, lint, all)\n" m;
+          1
+      | Ok parts ->
+          let chk = Check.create ~parts () in
+          Check.install chk;
+          let rc = Fun.protect ~finally:Check.uninstall run in
+          Report.print (Report.of_check ~id:"check" chk);
+          let violations = List.length (Check.violations chk) in
+          if violations > 0 then begin
+            Printf.printf "check: %d violation(s)\n" violations;
+            max rc 1
+          end
+          else begin
+            Printf.printf "check: clean (%d advisory finding(s))\n"
+              (List.length (Check.advisories chk));
+            rc
+          end)
+
+(* ------------------------------------------------------------------ *)
 (* repro                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -115,7 +154,7 @@ let run_one ~quick ~seed ~csv id =
       Printf.printf "[%s done in %.1fs host time]\n%!" id (Unix.gettimeofday () -. t0);
       0
 
-let repro ids all quick seed csv do_list trace tfilter =
+let repro ids all quick seed csv do_list trace tfilter check =
   if do_list then list_experiments ()
   else
     let ids = if all then Experiments.ids () else ids in
@@ -125,14 +164,19 @@ let repro ids all quick seed csv do_list trace tfilter =
     end
     else
       with_trace trace tfilter (fun () ->
-          List.fold_left (fun rc id -> max rc (run_one ~quick ~seed ~csv id)) 0 ids)
+          with_check check (fun () ->
+              List.fold_left
+                (fun rc id -> max rc (run_one ~quick ~seed ~csv id))
+                0 ids))
 
 (* ------------------------------------------------------------------ *)
 (* intset                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_intset mode structure range updates threads txns early_release seed trace tfilter =
+let run_intset mode structure range updates threads txns early_release seed trace tfilter
+    check =
   with_trace trace tfilter @@ fun () ->
+  with_check check @@ fun () ->
   let structure =
     match structure with
     | "linked-list" -> Some Intset.Linked_list
@@ -171,8 +215,9 @@ let run_intset mode structure range updates threads txns early_release seed trac
 (* stamp                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_stamp app mode threads scale seed trace tfilter =
+let run_stamp app mode threads scale seed trace tfilter check =
   with_trace trace tfilter @@ fun () ->
+  with_check check @@ fun () ->
   match (Stamp.of_name app, List.assoc_opt mode modes) with
   | None, _ ->
       Printf.eprintf "unknown app (%s)\n"
@@ -225,6 +270,18 @@ let trace_filter_arg =
              ("Comma-separated event kinds to record (default: all except resume). \
                Kinds: " ^ String.concat ", " Trace.filter_names ^ "."))
 
+let check_arg =
+  Arg.(value & opt ~vopt:(Some "all") (some string) None
+       & info [ "check" ] ~docv:"PARTS"
+           ~doc:
+             "Run the correctness checker alongside the workload and print its \
+              findings: $(b,isolation) (shadow-memory strong-isolation checks), \
+              $(b,serial) (conflict-serializability oracle + abort hygiene), \
+              $(b,lint) (capacity/annotation advisories), or a comma-separated \
+              subset (default: all). Checking never advances simulated time, so \
+              all reported numbers are identical with and without it; the exit \
+              code is non-zero if any guarantee was violated.")
+
 let repro_cmd =
   let ids =
     Arg.(value & opt_all string []
@@ -241,7 +298,7 @@ let repro_cmd =
     (Cmd.info "repro" ~doc:"Reproduce the paper's tables and figures")
     Term.(
       const repro $ ids $ all $ quick $ seed_arg $ csv $ list $ trace_arg
-      $ trace_filter_arg)
+      $ trace_filter_arg $ check_arg)
 
 let intset_cmd =
   let structure =
@@ -261,7 +318,7 @@ let intset_cmd =
     (Cmd.info "intset" ~doc:"Run one IntegerSet configuration")
     Term.(
       const run_intset $ mode_arg $ structure $ range $ updates $ threads_arg $ txns $ er
-      $ seed_arg $ trace_arg $ trace_filter_arg)
+      $ seed_arg $ trace_arg $ trace_filter_arg $ check_arg)
 
 let stamp_cmd =
   let app_arg =
@@ -275,7 +332,7 @@ let stamp_cmd =
     (Cmd.info "stamp" ~doc:"Run one STAMP application")
     Term.(
       const run_stamp $ app_arg $ mode_arg $ threads_arg $ scale $ seed_arg $ trace_arg
-      $ trace_filter_arg)
+      $ trace_filter_arg $ check_arg)
 
 let main_cmd =
   let doc =
@@ -285,15 +342,15 @@ let main_cmd =
   Cmd.group
     ~default:
       Term.(
-        const (fun ids all quick seed csv list trace tfilter ->
-            repro ids all quick seed csv list trace tfilter)
+        const (fun ids all quick seed csv list trace tfilter check ->
+            repro ids all quick seed csv list trace tfilter check)
         $ Arg.(value & opt_all string [] & info [ "e"; "experiment" ] ~docv:"ID")
         $ Arg.(value & flag & info [ "all" ])
         $ Arg.(value & flag & info [ "quick" ])
         $ seed_arg
         $ Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR")
         $ Arg.(value & flag & info [ "list" ])
-        $ trace_arg $ trace_filter_arg)
+        $ trace_arg $ trace_filter_arg $ check_arg)
     (Cmd.info "asf_bench" ~doc)
     [ repro_cmd; intset_cmd; stamp_cmd ]
 

@@ -14,6 +14,8 @@ type t = {
   hier : Hierarchy.t;
   tracer : Trace.t;
   mutable probe_hook : requester:int -> line:int -> write:bool -> unit;
+  mutable access_hook :
+    (core:int -> addr:Addr.t -> write:bool -> speculative:bool -> unit) option;
   mutable fault_hook : (core:int -> fault -> unit) option;
   mutable loads : int;
   mutable stores : int;
@@ -30,6 +32,7 @@ let create params engine =
     hier = Hierarchy.create params ~n_cores;
     tracer = Trace.installed ();
     probe_hook = (fun ~requester:_ ~line:_ ~write:_ -> ());
+    access_hook = None;
     fault_hook = None;
     loads = 0;
     stores = 0;
@@ -49,6 +52,8 @@ let hierarchy t = t.hier
 let tracer t = t.tracer
 
 let set_probe_hook t f = t.probe_hook <- f
+
+let set_access_hook t f = t.access_hook <- f
 
 let set_fault_hook t f = t.fault_hook <- Some f
 
@@ -95,6 +100,12 @@ let timed_access t ~core ~speculative ~write ~apply addr =
   let extra = translate t ~core ~speculative addr in
   let line = Addr.line_of addr in
   t.probe_hook ~requester:core ~line ~write;
+  (* Observers (the checking layer) see the access after conflict
+     resolution but before the data transfer, so they can snapshot the
+     pre-access memory image; they must not elapse simulated time. *)
+  (match t.access_hook with
+  | Some h -> h ~core ~addr ~write ~speculative
+  | None -> ());
   let result = apply () in
   let lat = Hierarchy.access t.hier ~core ~line ~write in
   Engine.elapse (scale t (lat + extra));

@@ -43,6 +43,14 @@ val tracer : t -> Asf_trace.Trace.t
 
 val set_probe_hook : t -> (requester:int -> line:int -> write:bool -> unit) -> unit
 
+val set_access_hook :
+  t -> (core:int -> addr:Asf_mem.Addr.t -> write:bool -> speculative:bool -> unit) option -> unit
+(** Install (or clear) a passive per-access observer, called after the
+    coherence probe has resolved conflicts but before the data transfer
+    takes effect. Used by the {!Asf_check} layer; the observer must not
+    advance simulated time, so observed and unobserved runs produce
+    identical numbers. *)
+
 val set_fault_hook : t -> (core:int -> fault -> unit) -> unit
 
 val set_evict_hook : t -> core:int -> (int -> unit) -> unit

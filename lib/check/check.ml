@@ -1,0 +1,734 @@
+module Engine = Asf_engine.Engine
+module Addr = Asf_mem.Addr
+module Ram = Asf_mem.Ram
+module Memsys = Asf_cache.Memsys
+module Abort = Asf_core.Abort
+module Asf = Asf_core.Asf
+module Variant = Asf_core.Variant
+module Stm = Asf_stm.Tinystm
+module Trace = Asf_trace.Trace
+
+type part = Isolation | Serial | Lint
+
+let part_name = function
+  | Isolation -> "isolation"
+  | Serial -> "serial"
+  | Lint -> "lint"
+
+let all_parts = [ Isolation; Serial; Lint ]
+
+let parts_of_names names =
+  let names = List.filter (fun s -> s <> "") names in
+  if names = [] then all_parts
+  else
+    List.concat_map
+      (fun s ->
+        match String.lowercase_ascii s with
+        | "isolation" | "iso" -> [ Isolation ]
+        | "serial" -> [ Serial ]
+        | "lint" -> [ Lint ]
+        | "all" -> all_parts
+        | other -> invalid_arg ("Check.parts_of_names: unknown part " ^ other))
+      names
+
+type severity = Violation | Advisory
+
+type finding = {
+  part : part;
+  severity : severity;
+  kind : string;
+  line : int option;
+  cores : int list;
+  cycle : int;
+  mutable count : int;
+  detail : string;
+  trail : string list;
+}
+
+type attempt_profile = {
+  p_run : int;
+  p_core : int;
+  p_attempt : int;
+  p_footprint : int;
+  p_written : int;
+  p_committed : bool;
+  p_capacity_abort : bool;
+}
+
+(* Per-line first-access sequence numbers of the attempt in flight
+   ([-1] = not yet accessed that way). *)
+type line_op = { mutable first_read : int; mutable first_write : int }
+
+type cur_attempt = {
+  mutable act_active : bool;
+  mutable act_id : int;  (* per-core attempt number, 1-based *)
+  act_ops : (int, line_op) Hashtbl.t;  (* line index -> first accesses *)
+  act_pre : (int, int array) Hashtbl.t;  (* pre-image at first spec write *)
+  mutable act_peak : int;  (* peak protected-set size, survives RELEASE *)
+}
+
+(* One committed attempt, a node of the conflict graph. *)
+type txn = {
+  tx_id : int;
+  tx_core : int;
+  tx_attempt : int;
+  tx_ops : (int * int * int) list;  (* line, first-read seq, first-write seq *)
+}
+
+(* What the lint knows about one line over a run. *)
+type line_info = {
+  mutable li_flags : int;  (* 1 tx-read, 2 tx-written, 4 plain-written, 8 released *)
+  mutable li_cores : int;  (* bitmask of cores that touched the line at all *)
+}
+
+type access_rec = {
+  ar_core : int;
+  ar_cycle : int;
+  ar_write : bool;
+  ar_spec : bool;
+}
+
+let history_depth = 8
+
+type t = {
+  chk_iso : bool;
+  chk_serial : bool;
+  chk_lint : bool;
+  mutable run : int;
+  mutable finalized : bool;
+  mutable seq : int;
+  mutable next_txn : int;
+  mutable mem : Memsys.t option;
+  mutable asf : Asf.t option;
+  mutable variant : Variant.t option;
+  mutable n_cores : int;
+  mutable cur : cur_attempt array;
+  mutable committed : txn list;  (* this run, reverse completion order *)
+  lines : (int, line_info) Hashtbl.t;  (* this run *)
+  history : (int, access_rec list ref) Hashtbl.t;  (* newest first, capped *)
+  mutable profiles : attempt_profile list;  (* all runs, reverse order *)
+  mutable found : finding list;  (* reverse first-occurrence order *)
+  index : (string * string * int option, finding) Hashtbl.t;
+}
+
+let fresh_cur () =
+  {
+    act_active = false;
+    act_id = 0;
+    act_ops = Hashtbl.create 32;
+    act_pre = Hashtbl.create 16;
+    act_peak = 0;
+  }
+
+let create ?(parts = all_parts) () =
+  {
+    chk_iso = List.mem Isolation parts;
+    chk_serial = List.mem Serial parts;
+    chk_lint = List.mem Lint parts;
+    run = 0;
+    finalized = true;
+    seq = 0;
+    next_txn = 0;
+    mem = None;
+    asf = None;
+    variant = None;
+    n_cores = 0;
+    cur = [||];
+    committed = [];
+    lines = Hashtbl.create 1024;
+    history = Hashtbl.create 1024;
+    profiles = [];
+    found = [];
+    index = Hashtbl.create 64;
+  }
+
+let parts t =
+  List.filter
+    (function
+      | Isolation -> t.chk_iso | Serial -> t.chk_serial | Lint -> t.chk_lint)
+    all_parts
+
+(* {1 Findings} *)
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let trail_of t line =
+  match Hashtbl.find_opt t.history line with
+  | None -> []
+  | Some cell ->
+      List.rev_map
+        (fun a ->
+          Printf.sprintf "cycle %d core %d %s %s line 0x%x" a.ar_cycle a.ar_core
+            (if a.ar_spec then "spec" else "plain")
+            (if a.ar_write then "store" else "load")
+            (Addr.line_base line))
+        !cell
+
+(* Findings are deduplicated by (part, kind, line): the first occurrence
+   keeps its event trail, repeats only bump [count]. Every violation
+   occurrence also lands in the trace stream so [--trace] and [--check]
+   tell one story. *)
+let report t ~part ~severity ~kind ?line ?(cores = []) ?(trail = []) detail =
+  let cycle, tracer =
+    match t.mem with
+    | None -> (0, None)
+    | Some m ->
+        let core = match cores with c :: _ -> c | [] -> 0 in
+        (Engine.core_time (Memsys.engine m) core, Some (Memsys.tracer m))
+  in
+  (if severity = Violation then
+     match tracer with
+     | Some tr ->
+         let core = match cores with c :: _ -> c | [] -> 0 in
+         Trace.emit tr ~core ~cycle
+           (Trace.Check_violation
+              { check = kind; line_addr = Option.map Addr.line_base line })
+     | None -> ());
+  let key = (part_name part, kind, line) in
+  match Hashtbl.find_opt t.index key with
+  | Some f -> f.count <- f.count + 1
+  | None ->
+      let trail =
+        if trail <> [] then trail
+        else match line with Some l -> trail_of t l | None -> []
+      in
+      let f =
+        {
+          part;
+          severity;
+          kind;
+          line = Option.map Addr.line_base line;
+          cores;
+          cycle;
+          count = 1;
+          detail;
+          trail;
+        }
+      in
+      Hashtbl.add t.index key f;
+      t.found <- f :: t.found
+
+let findings t = List.rev t.found
+
+let violations t =
+  List.filter (fun f -> f.severity = Violation) (findings t)
+
+let advisories t =
+  List.filter (fun f -> f.severity = Advisory) (findings t)
+
+let attempt_profiles t = List.rev t.profiles
+
+(* {1 Per-access bookkeeping} *)
+
+let line_info t l =
+  match Hashtbl.find_opt t.lines l with
+  | Some li -> li
+  | None ->
+      let li = { li_flags = 0; li_cores = 0 } in
+      Hashtbl.add t.lines l li;
+      li
+
+let push_history t mem ~core ~line ~write ~speculative =
+  let cell =
+    match Hashtbl.find_opt t.history line with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Hashtbl.add t.history line c;
+        c
+  in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  cell :=
+    {
+      ar_core = core;
+      ar_cycle = Engine.core_time (Memsys.engine mem) core;
+      ar_write = write;
+      ar_spec = speculative;
+    }
+    :: take (history_depth - 1) !cell
+
+let begin_attempt t core =
+  let cur = t.cur.(core) in
+  cur.act_active <- true;
+  cur.act_id <- cur.act_id + 1;
+  Hashtbl.reset cur.act_ops;
+  Hashtbl.reset cur.act_pre;
+  cur.act_peak <- 0
+
+(* The access hook can observe an attempt the checker was attached into
+   the middle of; open a profile for it on first contact. *)
+let ensure_attempt t core =
+  let cur = t.cur.(core) in
+  if not cur.act_active then begin_attempt t core;
+  cur
+
+let record_op t cur ~line ~write =
+  if t.chk_serial || t.chk_lint then begin
+    t.seq <- t.seq + 1;
+    let op =
+      match Hashtbl.find_opt cur.act_ops line with
+      | Some op -> op
+      | None ->
+          let op = { first_read = -1; first_write = -1 } in
+          Hashtbl.add cur.act_ops line op;
+          let n = Hashtbl.length cur.act_ops in
+          if n > cur.act_peak then cur.act_peak <- n;
+          op
+    in
+    if write then begin
+      if op.first_write < 0 then op.first_write <- t.seq
+    end
+    else if op.first_read < 0 then op.first_read <- t.seq
+  end
+
+let end_attempt t core ~committed ~capacity_abort =
+  let cur = t.cur.(core) in
+  if cur.act_active then begin
+    cur.act_active <- false;
+    if t.chk_serial && committed && Hashtbl.length cur.act_ops > 0 then begin
+      t.next_txn <- t.next_txn + 1;
+      let ops =
+        Hashtbl.fold
+          (fun l op acc -> (l, op.first_read, op.first_write) :: acc)
+          cur.act_ops []
+      in
+      t.committed <-
+        {
+          tx_id = t.next_txn;
+          tx_core = core;
+          tx_attempt = cur.act_id;
+          tx_ops = ops;
+        }
+        :: t.committed
+    end;
+    if t.chk_lint then begin
+      let written =
+        Hashtbl.fold
+          (fun _ op n -> if op.first_write >= 0 then n + 1 else n)
+          cur.act_ops 0
+      in
+      t.profiles <-
+        {
+          p_run = t.run;
+          p_core = core;
+          p_attempt = cur.act_id;
+          p_footprint = cur.act_peak;
+          p_written = written;
+          p_committed = committed;
+          p_capacity_abort = capacity_abort;
+        }
+        :: t.profiles
+    end;
+    Hashtbl.reset cur.act_ops;
+    Hashtbl.reset cur.act_pre
+  end
+
+let on_access t asf mem ~core ~addr ~write ~speculative =
+  let l = Addr.line_of addr in
+  let li = line_info t l in
+  li.li_cores <- li.li_cores lor (1 lsl core);
+  if (not speculative) && write then li.li_flags <- li.li_flags lor 4;
+  if t.chk_iso then push_history t mem ~core ~line:l ~write ~speculative;
+  if speculative then begin
+    li.li_flags <- li.li_flags lor (if write then 2 else 1);
+    let cur = ensure_attempt t core in
+    record_op t cur ~line:l ~write;
+    if write && t.chk_serial && not (Hashtbl.mem cur.act_pre l) then
+      Hashtbl.add cur.act_pre l (Ram.read_line (Memsys.ram mem) l)
+  end;
+  match asf with
+  | Some a when t.chk_iso ->
+      for c = 0 to t.n_cores - 1 do
+        if c = core then begin
+          if (not speculative) && Asf.line_written a ~core:c l then
+            report t ~part:Isolation ~severity:Violation ~kind:"colocation"
+              ~line:l ~cores:[ core ]
+              (Printf.sprintf
+                 "core %d plain %s on line 0x%x inside its own speculative \
+                  write set (on LLB hardware the committed copy would be \
+                  observed, not the speculative one)"
+                 core
+                 (if write then "store" else "load")
+                 (Addr.line_base l))
+        end
+        else if Asf.line_written a ~core:c l then
+          if speculative then
+            report t ~part:Isolation ~severity:Violation
+              ~kind:"unresolved-conflict" ~line:l ~cores:[ core; c ]
+              (Printf.sprintf
+                 "core %d speculative %s on line 0x%x conflicts with core \
+                  %d's write set, yet neither region was doomed"
+                 core
+                 (if write then "store" else "load")
+                 (Addr.line_base l) c)
+          else
+            report t ~part:Isolation ~severity:Violation
+              ~kind:"strong-isolation" ~line:l ~cores:[ core; c ]
+              (Printf.sprintf
+                 "core %d plain %s observes core %d's uncommitted \
+                  speculative store on line 0x%x"
+                 core
+                 (if write then "store" else "load")
+                 c (Addr.line_base l))
+        else if write && Asf.line_protected a ~core:c l then
+          if speculative then
+            report t ~part:Isolation ~severity:Violation
+              ~kind:"unresolved-conflict" ~line:l ~cores:[ core; c ]
+              (Printf.sprintf
+                 "core %d speculative store on line 0x%x conflicts with \
+                  core %d's read set, yet neither region was doomed"
+                 core (Addr.line_base l) c)
+          else
+            report t ~part:Isolation ~severity:Violation
+              ~kind:"unannotated-race" ~line:l ~cores:[ core; c ]
+              (Printf.sprintf
+                 "core %d plain store races core %d's protected read of \
+                  line 0x%x without dooming it"
+                 core c (Addr.line_base l))
+      done
+  | _ -> ()
+
+(* {1 Lifecycle observers} *)
+
+let check_hygiene t mem ~core =
+  let cur = t.cur.(core) in
+  let ram = Memsys.ram mem in
+  Hashtbl.iter
+    (fun l pre ->
+      if Ram.read_line ram l <> pre then
+        report t ~part:Serial ~severity:Violation ~kind:"abort-hygiene"
+          ~line:l ~cores:[ core ]
+          (Printf.sprintf
+             "core %d's aborted region left its speculative store on line \
+              0x%x: memory differs from the pre-SPECULATE image"
+             core (Addr.line_base l)))
+    cur.act_pre
+
+let on_asf_event t mem ~core ev =
+  match ev with
+  | Asf.Obs_speculate -> begin_attempt t core
+  | Asf.Obs_commit -> end_attempt t core ~committed:true ~capacity_abort:false
+  | Asf.Obs_doom reason ->
+      if t.chk_serial then check_hygiene t mem ~core;
+      end_attempt t core ~committed:false
+        ~capacity_abort:(reason = Abort.Capacity)
+  | Asf.Obs_release l ->
+      (line_info t l).li_flags <- (line_info t l).li_flags lor 8;
+      let cur = t.cur.(core) in
+      if cur.act_active then begin
+        match Hashtbl.find_opt cur.act_ops l with
+        | Some op when op.first_write < 0 ->
+            (* The programmer asserted the read need not stay serialized;
+               drop it from the oracle's history like the hardware drops
+               the protection. Peak footprint keeps the slot it used. *)
+            Hashtbl.remove cur.act_ops l
+        | _ -> ()
+      end
+
+let on_stm_event t ~core ev =
+  match ev with
+  | Stm.Ev_start -> begin_attempt t core
+  | Stm.Ev_read a ->
+      let l = Addr.line_of a in
+      let li = line_info t l in
+      li.li_flags <- li.li_flags lor 1;
+      li.li_cores <- li.li_cores lor (1 lsl core);
+      record_op t (ensure_attempt t core) ~line:l ~write:false
+  | Stm.Ev_write a ->
+      let l = Addr.line_of a in
+      let li = line_info t l in
+      li.li_flags <- li.li_flags lor 2;
+      li.li_cores <- li.li_cores lor (1 lsl core);
+      record_op t (ensure_attempt t core) ~line:l ~write:true
+  | Stm.Ev_commit -> end_attempt t core ~committed:true ~capacity_abort:false
+  | Stm.Ev_abort _ -> end_attempt t core ~committed:false ~capacity_abort:false
+
+(* {1 The conflict-serializability oracle} *)
+
+let tx_label info id =
+  match Hashtbl.find_opt info id with
+  | Some tx -> Printf.sprintf "T%d(c%d#%d)" tx.tx_id tx.tx_core tx.tx_attempt
+  | None -> Printf.sprintf "T%d" id
+
+let check_serializability t =
+  let txns = List.rev t.committed in
+  if txns <> [] then begin
+    let info = Hashtbl.create 64 in
+    (* line -> committed ops on it, as (seq, txn, is-write) *)
+    let per_line : (int, (int * int * bool) list ref) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    List.iter
+      (fun tx ->
+        Hashtbl.replace info tx.tx_id tx;
+        List.iter
+          (fun (l, r, w) ->
+            let cell =
+              match Hashtbl.find_opt per_line l with
+              | Some c -> c
+              | None ->
+                  let c = ref [] in
+                  Hashtbl.add per_line l c;
+                  c
+            in
+            if r >= 0 then cell := (r, tx.tx_id, false) :: !cell;
+            if w >= 0 then cell := (w, tx.tx_id, true) :: !cell)
+          tx.tx_ops)
+      txns;
+    let succs : (int, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+    let preds : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+    let indeg = Hashtbl.create 64 in
+    List.iter (fun tx -> Hashtbl.replace indeg tx.tx_id 0) txns;
+    let add_edge u v l =
+      if u <> v then begin
+        let m =
+          match Hashtbl.find_opt succs u with
+          | Some m -> m
+          | None ->
+              let m = Hashtbl.create 4 in
+              Hashtbl.add succs u m;
+              m
+        in
+        if not (Hashtbl.mem m v) then begin
+          Hashtbl.add m v l;
+          (match Hashtbl.find_opt preds v with
+          | Some c -> c := (u, l) :: !c
+          | None -> Hashtbl.add preds v (ref [ (u, l) ]));
+          Hashtbl.replace indeg v (Hashtbl.find indeg v + 1)
+        end
+      end
+    in
+    (* Sweep each line in observed access order: a write conflicts with
+       the previous writer and every reader since; a read conflicts with
+       the previous writer. Edge direction = order of first access. *)
+    Hashtbl.iter
+      (fun l cell ->
+        let ops = List.sort compare !cell in
+        let last_writer = ref (-1) in
+        let readers = ref [] in
+        List.iter
+          (fun (_seq, txid, w) ->
+            if w then begin
+              if !last_writer >= 0 then add_edge !last_writer txid l;
+              List.iter (fun r -> add_edge r txid l) !readers;
+              last_writer := txid;
+              readers := []
+            end
+            else begin
+              if !last_writer >= 0 then add_edge !last_writer txid l;
+              readers := txid :: !readers
+            end)
+          ops)
+      per_line;
+    (* Kahn's peel; whatever keeps a positive in-degree sits on or behind
+       a cycle. *)
+    let q = Queue.create () in
+    Hashtbl.iter (fun v d -> if d = 0 then Queue.add v q) indeg;
+    let remaining = ref (Hashtbl.length indeg) in
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      decr remaining;
+      match Hashtbl.find_opt succs u with
+      | None -> ()
+      | Some m ->
+          Hashtbl.iter
+            (fun v _ ->
+              let d = Hashtbl.find indeg v - 1 in
+              Hashtbl.replace indeg v d;
+              if d = 0 then Queue.add v q)
+            m
+    done;
+    if !remaining > 0 then begin
+      (* Walk predecessors inside the leftover set until a node repeats;
+         that closes a concrete cycle to show the user. *)
+      let start =
+        Hashtbl.fold
+          (fun v d acc -> if d > 0 && acc < 0 then v else acc)
+          indeg (-1)
+      in
+      let seen = Hashtbl.create 16 in
+      let sample_line = ref None in
+      let rec walk v path =
+        if Hashtbl.mem seen v then (v, path)
+        else begin
+          Hashtbl.add seen v ();
+          let u, l =
+            match Hashtbl.find_opt preds v with
+            | Some c ->
+                List.find (fun (u, _) -> Hashtbl.find indeg u > 0) !c
+            | None -> assert false
+          in
+          if !sample_line = None then sample_line := Some l;
+          walk u (v :: path)
+        end
+      in
+      let v, path = walk start [] in
+      let rec upto acc = function
+        | [] -> List.rev acc
+        | u :: rest -> if u = v then List.rev (u :: acc) else upto (u :: acc) rest
+      in
+      (* [path] is the pred chain newest-first: each element's successor
+         (edge direction) is the one before it, so [v :: prefix-up-to-v]
+         read left to right follows the conflict edges back to [v]. *)
+      let cycle_nodes =
+        match upto [] path with
+        | [] -> [ v ]
+        | prefix -> v :: List.filteri (fun i _ -> i < List.length prefix - 1) prefix
+      in
+      let cores =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun id ->
+               Option.map (fun tx -> tx.tx_core) (Hashtbl.find_opt info id))
+             cycle_nodes)
+      in
+      let trail =
+        List.map
+          (fun id ->
+            match Hashtbl.find_opt info id with
+            | Some tx ->
+                Printf.sprintf "%s: %d line(s) accessed" (tx_label info id)
+                  (List.length tx.tx_ops)
+            | None -> tx_label info id)
+          cycle_nodes
+      in
+      report t ~part:Serial ~severity:Violation ~kind:"conflict-cycle"
+        ?line:!sample_line ~cores ~trail
+        (Printf.sprintf
+           "committed attempts are not conflict-serializable: %s -> %s"
+           (String.concat " -> " (List.map (tx_label info) cycle_nodes))
+           (tx_label info v))
+    end
+  end
+
+(* {1 The capacity / annotation lint} *)
+
+let serial_only_finding ~capacity p =
+  let need = p.p_footprint + if p.p_capacity_abort then 1 else 0 in
+  if need > capacity then
+    Some
+      {
+        part = Lint;
+        severity = Advisory;
+        kind = "serial-only";
+        line = None;
+        cores = [ p.p_core ];
+        cycle = 0;
+        count = 1;
+        detail =
+          Printf.sprintf
+            "core %d attempt %d needs >= %d protected lines; capacity %d \
+             forces the serial fallback"
+            p.p_core p.p_attempt need capacity;
+        trail = [];
+      }
+  else None
+
+let lint_capacity t ~capacity =
+  List.filter_map (serial_only_finding ~capacity) (attempt_profiles t)
+
+let lint_run t =
+  (match t.variant with
+  | Some v
+    when (not v.Variant.l1_read_set)
+         && (not v.Variant.l1_write_set)
+         && v.Variant.llb_entries < max_int ->
+      List.iter
+        (fun p ->
+          if p.p_run = t.run then
+            match serial_only_finding ~capacity:v.Variant.llb_entries p with
+            | Some f ->
+                report t ~part:Lint ~severity:Advisory ~kind:"serial-only"
+                  ~cores:f.cores f.detail
+            | None -> ())
+        t.profiles
+  | _ -> ());
+  if t.asf <> None then begin
+    let sample flags_want flags_veto cores_want =
+      Hashtbl.fold
+        (fun l li (n, ex) ->
+          if
+            li.li_flags land flags_want = flags_want
+            && li.li_flags land flags_veto = 0
+            && (cores_want = 0 || popcount li.li_cores = cores_want)
+          then (n + 1, if List.length ex < 4 then Addr.line_base l :: ex else ex)
+          else (n, ex))
+        t.lines (0, [])
+    in
+    let hex ex =
+      String.concat ", "
+        (List.map (Printf.sprintf "0x%x") (List.sort compare ex))
+    in
+    (* Read-only protected lines: no transactional or plain write anywhere
+       in the run, never already released. *)
+    let n, ex = sample 1 (2 lor 4 lor 8) 0 in
+    if n > 0 then
+      report t ~part:Lint ~severity:Advisory ~kind:"early-release"
+        (Printf.sprintf
+           "%d protected line(s) were only ever read — RELEASE candidates \
+            (e.g. %s)"
+           n (hex ex));
+    (* Transactionally-touched lines private to one core. *)
+    let n, ex =
+      Hashtbl.fold
+        (fun l li (n, ex) ->
+          if li.li_flags land 3 <> 0 && popcount li.li_cores = 1 then
+            (n + 1, if List.length ex < 4 then Addr.line_base l :: ex else ex)
+          else (n, ex))
+        t.lines (0, [])
+    in
+    if n > 0 then
+      report t ~part:Lint ~severity:Advisory ~kind:"unannotated-ok"
+        (Printf.sprintf
+           "%d protected line(s) were touched by a single core — plain \
+            accesses would be safe (e.g. %s)"
+           n (hex ex))
+  end
+
+let finalize t =
+  if not t.finalized then begin
+    t.finalized <- true;
+    if t.chk_serial then check_serializability t;
+    if t.chk_lint then lint_run t
+  end
+
+(* {1 Attachment} *)
+
+let attach t ?asf ?stm ?variant mem =
+  finalize t;
+  t.run <- t.run + 1;
+  t.finalized <- false;
+  t.mem <- Some mem;
+  t.asf <- asf;
+  t.variant <- variant;
+  t.n_cores <- Engine.n_cores (Memsys.engine mem);
+  t.cur <- Array.init t.n_cores (fun _ -> fresh_cur ());
+  t.committed <- [];
+  Hashtbl.reset t.lines;
+  Hashtbl.reset t.history;
+  Memsys.set_access_hook mem
+    (Some
+       (fun ~core ~addr ~write ~speculative ->
+         on_access t asf mem ~core ~addr ~write ~speculative));
+  (match asf with
+  | Some a ->
+      Asf.set_observer a (Some (fun ~core ev -> on_asf_event t mem ~core ev))
+  | None -> ());
+  match stm with
+  | Some s -> Stm.set_observer s (Some (fun ~core ev -> on_stm_event t ~core ev))
+  | None -> ()
+
+(* {1 Global installation} *)
+
+let current : t option ref = ref None
+
+let install t = current := Some t
+
+let uninstall () = current := None
+
+let installed () = !current

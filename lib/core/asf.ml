@@ -36,15 +36,32 @@ type region = {
   mutable last_conflict : int option;
 }
 
+(* Passive lifecycle observer for the checking layer: notified at region
+   boundaries and dooms, after the hardware state change has been applied.
+   Observers must not elapse simulated time. *)
+type observer_event =
+  | Obs_speculate
+  | Obs_commit
+  | Obs_doom of Abort.t
+  | Obs_release of int
+
 type t = {
   mem : Memsys.t;
   engine : Engine.t;
   variant : Variant.t;
   costs : costs;
   requester_wins : bool;
+  (* Test-only broken-hardware ablations: [rollback_on_abort:false] skips
+     the write-back of LLB backups when a region is doomed, violating
+     abort semantics; [resolve_conflicts:false] makes coherence probes
+     conflict-blind, violating requester-wins isolation. The checking
+     layer must detect the resulting stale or unserializable state. *)
+  rollback_on_abort : bool;
+  resolve_conflicts : bool;
   regions : region array;
   quantum : int;
   tracer : Trace.t;
+  mutable observer : (core:int -> observer_event -> unit) option;
   mutable speculates : int;
   mutable commits : int;
   aborts : int array;
@@ -55,6 +72,11 @@ let variant t = t.variant
 let memsys t = t.mem
 
 let region t core = t.regions.(core)
+
+let set_observer t f = t.observer <- f
+
+let notify t ~core ev =
+  match t.observer with Some f -> f ~core ev | None -> ()
 
 (* Roll back a region's speculative stores and clear its protected sets,
    recording the first abort reason. Idempotent; the victim observes the
@@ -68,9 +90,11 @@ let doom ?line t core reason =
     r.doomed <- Some reason;
     r.last_conflict <- line;
     let ram = Memsys.ram t.mem in
-    Llb.iter_written r.llb (fun line backup -> Ram.write_line ram line backup);
+    if t.rollback_on_abort then
+      Llb.iter_written r.llb (fun line backup -> Ram.write_line ram line backup);
     Llb.clear r.llb;
-    Hashtbl.reset r.tracked
+    Hashtbl.reset r.tracked;
+    notify t ~core (Obs_doom reason)
   end
 
 (* A write probe conflicts with read and write sets; a read probe
@@ -86,6 +110,7 @@ let region_conflicts t r ~line ~write =
 (* Requester-wins: any conflicting probe dooms the region that already
    holds the line. *)
 let resolve t ~requester ~line ~write =
+  if t.resolve_conflicts then
   Array.iteri
     (fun core r ->
       if core <> requester && r.active && r.doomed = None then
@@ -140,7 +165,8 @@ let check t core =
     finish_abort t core
   end
 
-let create ?(costs = default_costs) ?(requester_wins = true) mem variant =
+let create ?(costs = default_costs) ?(requester_wins = true)
+    ?(rollback_on_abort = true) ?(resolve_conflicts = true) mem variant =
   let engine = Memsys.engine mem in
   let n_cores = Engine.n_cores engine in
   let t =
@@ -150,6 +176,8 @@ let create ?(costs = default_costs) ?(requester_wins = true) mem variant =
       variant;
       costs;
       requester_wins;
+      rollback_on_abort;
+      resolve_conflicts;
       regions =
         Array.init n_cores (fun _ ->
             {
@@ -163,6 +191,7 @@ let create ?(costs = default_costs) ?(requester_wins = true) mem variant =
             });
       quantum = (Memsys.params mem).Asf_machine.Params.interrupt_quantum;
       tracer = Memsys.tracer mem;
+      observer = None;
       speculates = 0;
       commits = 0;
       aborts = Array.make Abort.n_classes 0;
@@ -219,6 +248,7 @@ let speculate t ~core =
     r.last_conflict <- None;
     r.start_time <- Engine.core_time t.engine core;
     t.speculates <- t.speculates + 1;
+    notify t ~core Obs_speculate;
     Engine.elapse t.costs.speculate_cycles
   end
 
@@ -234,6 +264,7 @@ let commit t ~core =
     r.active <- false;
     r.nesting <- 0;
     t.commits <- t.commits + 1;
+    notify t ~core Obs_commit;
     Engine.elapse t.costs.commit_cycles
   end
 
@@ -251,7 +282,7 @@ let track_read t core line =
    holder undisturbed. *)
 let loses_check t ~core ~line ~write =
   if (not t.requester_wins) && any_remote_conflict t ~requester:core ~line ~write
-  then self_abort t ~core Abort.Contention
+  then self_abort ~line t ~core Abort.Contention
 
 (* Protection must be established at issue time, before the access's
    latency is charged: a remote store arriving while this load is in
@@ -306,6 +337,7 @@ let release t ~core addr =
     if not (Llb.written r.llb line) then Hashtbl.remove r.tracked line
   end
   else ignore (Llb.release r.llb line);
+  notify t ~core (Obs_release line);
   Engine.elapse t.costs.release_cycles
 
 let plain_load t ~core addr = Memsys.load t.mem ~core ~speculative:false addr
@@ -318,6 +350,18 @@ let plain_store t ~core addr v =
   Memsys.store t.mem ~core ~speculative:false addr v
 
 let in_region t ~core = (region t core).active
+
+(* Live protected-set membership queries for the checking layer: a doomed
+   region's sets were already flash-cleared, so both are [false] there. *)
+let line_protected t ~core line =
+  let r = region t core in
+  r.active && r.doomed = None
+  && (Llb.mem r.llb line
+     || (t.variant.Variant.l1_read_set && Hashtbl.mem r.tracked line))
+
+let line_written t ~core line =
+  let r = region t core in
+  r.active && r.doomed = None && Llb.written r.llb line
 
 let last_conflict t ~core =
   Option.map Addr.line_base (region t core).last_conflict

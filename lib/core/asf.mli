@@ -39,7 +39,13 @@ val default_costs : costs
 type t
 
 val create :
-  ?costs:costs -> ?requester_wins:bool -> Asf_cache.Memsys.t -> Variant.t -> t
+  ?costs:costs ->
+  ?requester_wins:bool ->
+  ?rollback_on_abort:bool ->
+  ?resolve_conflicts:bool ->
+  Asf_cache.Memsys.t ->
+  Variant.t ->
+  t
 (** Installs the probe, eviction, and fault hooks into the memory system.
     At most one [Asf.t] may be attached to a given [Memsys.t].
 
@@ -49,7 +55,15 @@ val create :
     design choice) a speculative access that would conflict with another
     region aborts the {e requesting} region instead — without disturbing
     the holder; non-speculative requesters still abort holders, as strong
-    isolation demands. *)
+    isolation demands.
+
+    [rollback_on_abort] and [resolve_conflicts] (both default [true]) are
+    deliberately-broken-hardware ablations for testing the {!Asf_check}
+    layer: [rollback_on_abort:false] skips restoring the LLB backups when
+    a region is doomed, leaving aborted speculative stores visible in
+    memory; [resolve_conflicts:false] makes coherence probes
+    conflict-blind, so conflicting regions are never doomed and strong
+    isolation / serializability no longer hold. *)
 
 val variant : t -> Variant.t
 
@@ -116,6 +130,28 @@ val protected_lines : t -> core:int -> int
 (** Current protected-set size in lines (read + write). *)
 
 val written_lines : t -> core:int -> int
+
+(** {1 Observation (checking layer)} *)
+
+type observer_event =
+  | Obs_speculate  (** outermost region entry (state already initialised) *)
+  | Obs_commit  (** outermost commit (stores already authoritative) *)
+  | Obs_doom of Abort.t
+      (** the region was doomed — by a remote probe, a capacity overflow,
+          a fault, or itself; the rollback (when enabled) has already been
+          applied when the observer runs *)
+  | Obs_release of int  (** RELEASE executed on the given line *)
+
+val set_observer : t -> (core:int -> observer_event -> unit) option -> unit
+(** Install (or clear) a passive lifecycle observer. Observers must not
+    advance simulated time: checked and unchecked runs produce identical
+    numbers. *)
+
+val line_protected : t -> core:int -> int -> bool
+(** Is the line in the core's live (non-doomed) protected set? *)
+
+val line_written : t -> core:int -> int -> bool
+(** Is the line in the core's live (non-doomed) write set? *)
 
 (** {1 Counters} *)
 

@@ -73,6 +73,49 @@ let of_trace ~id tr =
        else [])
     [ "event"; "count" ] rows
 
+let of_check ~id chk =
+  let module Check = Asf_check.Check in
+  Check.finalize chk;
+  let findings = Check.findings chk in
+  let rows =
+    List.map
+      (fun (f : Check.finding) ->
+        [
+          Check.part_name f.Check.part;
+          (match f.Check.severity with
+          | Check.Violation -> "VIOLATION"
+          | Check.Advisory -> "advisory");
+          f.Check.kind;
+          (match f.Check.line with
+          | Some a -> Printf.sprintf "0x%x" a
+          | None -> "-");
+          String.concat " " (List.map string_of_int f.Check.cores);
+          string_of_int f.Check.count;
+          f.Check.detail;
+        ])
+      findings
+  in
+  let rows =
+    if rows = [] then [ [ "-"; "clean"; "-"; "-"; "-"; "0"; "no findings" ] ]
+    else rows
+  in
+  let trails =
+    List.concat_map
+      (fun (f : Check.finding) ->
+        if f.Check.severity = Check.Violation && f.Check.trail <> [] then
+          Printf.sprintf "%s trail:" f.Check.kind
+          :: List.map (fun l -> "  " ^ l) f.Check.trail
+        else [])
+      findings
+  in
+  make ~id
+    ~title:
+      (Printf.sprintf "checker findings (%s)"
+         (String.concat "," (List.map Check.part_name (Check.parts chk))))
+    ~notes:trails
+    [ "part"; "severity"; "kind"; "line"; "cores"; "count"; "detail" ]
+    rows
+
 let f1 x = Printf.sprintf "%.1f" x
 
 let f2 x = Printf.sprintf "%.2f" x

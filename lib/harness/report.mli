@@ -26,6 +26,11 @@ val of_trace : id:string -> Asf_trace.Trace.t -> t
     omitted), with a trailing row and note when ring-buffer overflow
     dropped events. *)
 
+val of_check : id:string -> Asf_check.Check.t -> t
+(** Findings table of a checker ({!Asf_check.Check.finalize} is called
+    first): one row per deduplicated finding, violation event trails as
+    notes, and a single [clean] row when there are none. *)
+
 (** {1 Cell formatting helpers} *)
 
 val f1 : float -> string

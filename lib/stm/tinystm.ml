@@ -4,9 +4,25 @@ module Alloc = Asf_mem.Alloc
 module Memsys = Asf_cache.Memsys
 module Trace = Asf_trace.Trace
 
-exception Stm_abort
+(* [orec] is the conflicting ownership record when the STM knows it —
+   the locked orec a load/store ran into, the CAS that lost a race, or
+   the first read-set entry that failed validation. Parity with
+   [Asf.last_conflict] so STM aborts trace and check with the same
+   detail as hardware aborts. *)
+exception Stm_abort of { orec : Asf_mem.Addr.t option }
 
 type strategy = Write_through | Write_back
+
+(* Passive per-transaction observer for the checking layer: logical
+   data-access and lifecycle events at address granularity (the internal
+   orec/clock/redo-log traffic is not reported). Observers must not
+   elapse simulated time. *)
+type observer_event =
+  | Ev_start
+  | Ev_read of Asf_mem.Addr.t
+  | Ev_write of Asf_mem.Addr.t
+  | Ev_commit
+  | Ev_abort of Asf_mem.Addr.t option  (** conflicting orec, when known *)
 
 type costs = {
   start_cycles : int;
@@ -41,6 +57,7 @@ type t = {
   mutable commits : int;
   mutable aborts : int;
   mutable extensions : int;
+  mutable observer : (core:int -> observer_event -> unit) option;
 }
 
 type read_entry = { orec : Addr.t; observed : int }
@@ -64,6 +81,9 @@ type tx = {
   mutable worder : Addr.t list;
   mutable log_base : Addr.t;
   log_capacity : int;
+  (* The conflicting orec behind this descriptor's most recent abort,
+     when known. Survives the abort; cleared at the next [start]. *)
+  mutable last_conflict : Addr.t option;
 }
 
 let create ?(costs = default_costs) ?(strategy = Write_through) ?(orec_bits = 16) mem alloc =
@@ -88,9 +108,15 @@ let create ?(costs = default_costs) ?(strategy = Write_through) ?(orec_bits = 16
     commits = 0;
     aborts = 0;
     extensions = 0;
+    observer = None;
   }
 
 let strategy t = t.strategy
+
+let set_observer t f = t.observer <- f
+
+let notify tx ev =
+  match tx.stm.observer with Some f -> f ~core:tx.core ev | None -> ()
 
 let make_tx t ~core =
   {
@@ -107,6 +133,7 @@ let make_tx t ~core =
     worder = [];
     log_base = 0;
     log_capacity = 512;
+    last_conflict = None;
   }
 
 (* Fibonacci-hash a line index into the orec table. *)
@@ -131,6 +158,7 @@ let mem_store tx a v = Memsys.store tx.stm.mem ~core:tx.core a v
 let start tx =
   assert (not tx.running);
   tx.running <- true;
+  tx.last_conflict <- None;
   tx.reads <- [];
   tx.nreads <- 0;
   tx.undo <- [];
@@ -141,63 +169,74 @@ let start tx =
   if tx.stm.strategy = Write_back && tx.log_base = 0 then
     tx.log_base <- Alloc.alloc tx.stm.alloc ~align:Addr.words_per_line tx.log_capacity;
   tx.stm.starts <- tx.stm.starts + 1;
+  notify tx Ev_start;
   tx.start_ts <- mem_load tx tx.stm.clock_addr;
   Engine.elapse tx.stm.costs.start_cycles
 
 (* Undo writes in reverse order, release owned orecs at their pre-
    acquisition version, and deliver the abort. Write-through means the
-   undo log replays through memory, costing real stores. *)
-let rollback tx =
+   undo log replays through memory, costing real stores. [conflict] is
+   the orec behind the abort, when known. *)
+let rollback ?conflict tx =
   List.iter (fun { waddr; old_value } -> mem_store tx waddr old_value) tx.undo;
   Hashtbl.iter (fun orec old_word -> mem_store tx orec old_word) tx.owned;
   tx.running <- false;
+  tx.last_conflict <- conflict;
   tx.stm.aborts <- tx.stm.aborts + 1;
+  notify tx (Ev_abort conflict);
   (let tr = Memsys.tracer tx.stm.mem in
    Trace.emit tr ~core:tx.core
      ~cycle:(Engine.core_time (Memsys.engine tx.stm.mem) tx.core)
      (Trace.Stm_rollback { reads = tx.nreads; writes = tx.nwrites }));
   Engine.elapse tx.stm.costs.abort_cycles
 
-let abort tx =
-  rollback tx;
-  raise Stm_abort
+let abort_on ?conflict tx =
+  rollback ?conflict tx;
+  raise (Stm_abort { orec = conflict })
+
+let abort tx = abort_on tx
 
 (* Check that every logged read is still at its observed version (or is an
-   orec this transaction now owns). *)
+   orec this transaction now owns); returns the first stale orec. *)
 let validate tx =
-  List.for_all
+  List.find_opt
     (fun { orec; observed } ->
       let cur = mem_load tx orec in
-      cur = observed || (locked cur && owner cur = tx.core && Hashtbl.mem tx.owned orec))
+      not
+        (cur = observed
+        || (locked cur && owner cur = tx.core && Hashtbl.mem tx.owned orec)))
     tx.reads
+  |> Option.map (fun { orec; _ } -> orec)
 
 (* Timestamp extension: the snapshot is stale but may still be consistent;
    revalidate the read set and move the snapshot forward. *)
 let extend tx =
   let now = mem_load tx tx.stm.clock_addr in
-  if validate tx then begin
-    tx.stm.extensions <- tx.stm.extensions + 1;
-    tx.start_ts <- now
-  end
-  else abort tx
+  match validate tx with
+  | None ->
+      tx.stm.extensions <- tx.stm.extensions + 1;
+      tx.start_ts <- now
+  | Some stale -> abort_on ~conflict:stale tx
 
 let load tx addr =
   assert tx.running;
   Engine.elapse tx.stm.costs.load_cycles;
   let orec = orec_of tx addr in
   let rec attempt tries =
-    if tries = 0 then abort tx
+    if tries = 0 then abort_on ~conflict:orec tx
     else begin
       let o1 = mem_load tx orec in
       if locked o1 then
-        if owner o1 = tx.core && Hashtbl.mem tx.owned orec then
+        if owner o1 = tx.core && Hashtbl.mem tx.owned orec then begin
+          notify tx (Ev_read addr);
           match Hashtbl.find_opt tx.wlog addr with
           | Some v ->
               (* Write-back: the buffered value shadows memory. *)
               Engine.elapse 4;
               v
           | None -> mem_load tx addr
-        else abort tx (* suicide contention management *)
+        end
+        else abort_on ~conflict:orec tx (* suicide contention management *)
       else begin
         let v = mem_load tx addr in
         let o2 = mem_load tx orec in
@@ -206,6 +245,7 @@ let load tx addr =
           if version o1 > tx.start_ts then extend tx;
           tx.reads <- { orec; observed = o1 } :: tx.reads;
           tx.nreads <- tx.nreads + 1;
+          notify tx (Ev_read addr);
           v
         end
       end
@@ -219,6 +259,7 @@ let load tx addr =
    region of simulated memory). *)
 let effectuate_store tx addr value =
   tx.nwrites <- tx.nwrites + 1;
+  notify tx (Ev_write addr);
   match tx.stm.strategy with
   | Write_through ->
       let old_value = mem_load tx addr in
@@ -239,11 +280,11 @@ let store tx addr value =
   if Hashtbl.mem tx.owned orec then effectuate_store tx addr value
   else begin
     let o = mem_load tx orec in
-    if locked o then abort tx
+    if locked o then abort_on ~conflict:orec tx
     else begin
       if version o > tx.start_ts then extend tx;
       if not (Memsys.cas tx.stm.mem ~core:tx.core orec ~expect:o ~value:(locked_word tx.core))
-      then abort tx
+      then abort_on ~conflict:orec tx
       else begin
         Hashtbl.replace tx.owned orec o;
         effectuate_store tx addr value
@@ -257,23 +298,28 @@ let commit tx =
   if Hashtbl.length tx.owned = 0 then begin
     (* Read-only: the snapshot was consistent throughout. *)
     tx.running <- false;
-    tx.stm.commits <- tx.stm.commits + 1
+    tx.stm.commits <- tx.stm.commits + 1;
+    notify tx Ev_commit
   end
   else begin
     let ts = 1 + Memsys.faa tx.stm.mem ~core:tx.core tx.stm.clock_addr 1 in
-    if ts > tx.start_ts + 1 && not (validate tx) then abort tx
-    else begin
-      if tx.stm.strategy = Write_back then
-        List.iter
-          (fun addr -> mem_store tx addr (Hashtbl.find tx.wlog addr))
-          (List.rev tx.worder);
-      Hashtbl.iter (fun orec _ -> mem_store tx orec (version_word ts)) tx.owned;
-      tx.running <- false;
-      tx.stm.commits <- tx.stm.commits + 1
-    end
+    let stale = if ts > tx.start_ts + 1 then validate tx else None in
+    match stale with
+    | Some orec -> abort_on ~conflict:orec tx
+    | None ->
+        if tx.stm.strategy = Write_back then
+          List.iter
+            (fun addr -> mem_store tx addr (Hashtbl.find tx.wlog addr))
+            (List.rev tx.worder);
+        Hashtbl.iter (fun orec _ -> mem_store tx orec (version_word ts)) tx.owned;
+        tx.running <- false;
+        tx.stm.commits <- tx.stm.commits + 1;
+        notify tx Ev_commit
   end
 
 let active tx = tx.running
+
+let last_conflict tx = tx.last_conflict
 
 let read_set_size tx = tx.nreads
 

@@ -18,7 +18,12 @@
     Aborts are delivered as {!Stm_abort}; the caller (the TM runtime's
     retry loop) handles back-off and re-execution. *)
 
-exception Stm_abort
+exception Stm_abort of { orec : Asf_mem.Addr.t option }
+(** [orec] is the conflicting ownership record when the STM knows it —
+    the locked orec a load or store ran into, the CAS that lost an
+    acquisition race, or the first read-set entry that failed validation.
+    Parity with {!Asf_core.Asf.last_conflict}, so STM aborts trace and
+    check with the same detail as hardware aborts. *)
 
 type strategy =
   | Write_through
@@ -73,6 +78,10 @@ val abort : tx -> 'a
 
 val active : tx -> bool
 
+val last_conflict : tx -> Asf_mem.Addr.t option
+(** The conflicting orec behind this descriptor's most recent abort, when
+    known. Survives the abort; cleared at the next {!start}. *)
+
 val read_set_size : tx -> int
 
 val write_set_size : tx -> int
@@ -86,3 +95,17 @@ val commits : t -> int
 val aborts : t -> int
 
 val extensions : t -> int
+
+(** {1 Observation (checking layer)} *)
+
+type observer_event =
+  | Ev_start
+  | Ev_read of Asf_mem.Addr.t  (** transactional load of the address *)
+  | Ev_write of Asf_mem.Addr.t  (** transactional store to the address *)
+  | Ev_commit
+  | Ev_abort of Asf_mem.Addr.t option  (** conflicting orec, when known *)
+
+val set_observer : t -> (core:int -> observer_event -> unit) option -> unit
+(** Install (or clear) a passive observer of logical transaction events
+    (internal orec/clock/redo-log traffic is not reported). Observers must
+    not advance simulated time. *)

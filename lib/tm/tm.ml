@@ -9,6 +9,7 @@ module Abort = Asf_core.Abort
 module Variant = Asf_core.Variant
 module Asf = Asf_core.Asf
 module Stm = Asf_stm.Tinystm
+module Check = Asf_check.Check
 module Trace = Asf_trace.Trace
 
 type mode = Asf_mode of Variant.t | Stm_mode | Seq_mode | Phased_mode of Variant.t
@@ -131,6 +132,17 @@ let create cfg =
   in
   let tracer = Memsys.tracer mem in
   Trace.run_start tracer;
+  (* An installed checker spans runs the way the installed tracer does:
+     each new system attaches (finalizing the previous run's oracle). *)
+  (match Check.installed () with
+  | Some chk ->
+      let variant =
+        match cfg.mode with
+        | Asf_mode v | Phased_mode v -> Some v
+        | Stm_mode | Seq_mode -> None
+      in
+      Check.attach chk ?asf ?stm ?variant mem
+  | None -> ());
   {
     cfg;
     engine;
@@ -485,12 +497,15 @@ and stm_attempt ctx f retries =
       Stats.commit_attempt ctx.stats ~now:(now ctx) ~serial:false;
       emit ctx (Trace.Tx_commit { serial = false });
       r
-  | exception Stm.Stm_abort ->
+  | exception Stm.Stm_abort { orec } ->
       Txmalloc.attempt_abort ctx.pool;
       Stats.abort_attempt ctx.stats ~now:(now ctx) Abort.Contention;
       emit ctx
         (Trace.Tx_abort
-           { abort_class = Abort.class_name (Abort.index Abort.Contention); addr = None });
+           {
+             abort_class = Abort.class_name (Abort.index Abort.Contention);
+             addr = Option.map (fun o -> Addr.line_base (Addr.line_of o)) orec;
+           });
       do_backoff ctx retries;
       stm_attempt ctx f (retries + 1)
 

@@ -12,6 +12,7 @@ type payload =
   | Thread_spawn
   | Thread_finish
   | Thread_resume
+  | Check_violation of { check : string; line_addr : int option }
 
 type event = {
   run : int;
@@ -22,7 +23,7 @@ type event = {
   payload : payload;
 }
 
-let n_kinds = 13
+let n_kinds = 14
 
 let kind_index = function
   | Tx_begin -> 0
@@ -38,12 +39,13 @@ let kind_index = function
   | Thread_spawn -> 10
   | Thread_finish -> 11
   | Thread_resume -> 12
+  | Check_violation _ -> 13
 
 let kind_names =
   [|
     "Tx_begin"; "Tx_commit"; "Tx_abort"; "Probe_rollback"; "Fallback_enter";
     "Fallback_exit"; "Backoff"; "Cache_evict"; "Fault_service"; "Stm_rollback";
-    "Thread_spawn"; "Thread_finish"; "Thread_resume";
+    "Thread_spawn"; "Thread_finish"; "Thread_resume"; "Check_violation";
   |]
 
 let kind_name p = kind_names.(kind_index p)
@@ -64,6 +66,7 @@ let filter_table =
     ("spawn", [ 10 ]);
     ("finish", [ 11 ]);
     ("resume", [ 12 ]);
+    ("check", [ 13 ]);
   ]
 
 let filter_names = List.map fst filter_table
@@ -269,6 +272,9 @@ let args_of_payload = function
   | Stm_rollback { reads; writes } ->
       [ ("reads", string_of_int reads); ("writes", string_of_int writes) ]
   | Thread_spawn | Thread_finish | Thread_resume -> []
+  | Check_violation { check; line_addr } ->
+      ("check", "\"" ^ json_escape check ^ "\"")
+      :: (match line_addr with Some a -> [ ("addr", string_of_int a) ] | None -> [])
 
 let detail_of_payload p =
   String.concat " "

@@ -43,6 +43,9 @@ type payload =
   | Thread_resume
       (** scheduler resumes a core after an [Elapse]; very hot, excluded
           from the default filter *)
+  | Check_violation of { check : string; line_addr : int option }
+      (** the {!Asf_check} subsystem flagged an invariant violation
+          ([check] names it, e.g. ["strong-isolation"]) at [line_addr] *)
 
 type event = {
   run : int;  (** simulated system id ([run_start] increments) *)
@@ -59,7 +62,7 @@ val kind_name : payload -> string
 val filter_names : string list
 (** Valid [filter] elements: [begin], [commit], [abort], [probe],
     [fallback], [backoff], [evict], [fault], [stm], [spawn], [finish],
-    [resume]. *)
+    [resume], [check]. *)
 
 (** {1 Tracers} *)
 

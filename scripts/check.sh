@@ -1,9 +1,22 @@
 #!/bin/sh
 # Tier-1 verification: full build (libraries, executables, examples,
-# benches) followed by the complete test suite. Run from the repo root.
+# benches) followed by the complete test suite and the Txcheck smoke
+# runs (one intset + one STAMP configuration per execution mode, each
+# under --check; any violated TM guarantee fails the run). Run from the
+# repo root.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build @all
 dune runtest
-echo "check.sh: build and tests OK"
+
+BENCH=_build/default/bin/asf_bench.exe
+for mode in llb256 stm phased; do
+  echo "checker smoke: intset rb-tree / $mode"
+  "$BENCH" intset -s rb-tree -r 256 -u 20 -t 4 --txns 200 -m "$mode" \
+    --check > /dev/null
+  echo "checker smoke: stamp kmeans / $mode"
+  "$BENCH" stamp -a kmeans-low -m "$mode" -t 4 --scale 0.2 --check > /dev/null
+done
+dune build @check
+echo "check.sh: build, tests, and checker smoke runs OK"

@@ -14,10 +14,10 @@ module Asf = Asf_core.Asf
 
 (* Small-quantum params would flood tests with interrupt aborts; use the
    real Barcelona quantum (2.2M cycles), far beyond these micro-tests. *)
-let setup ?(n_cores = 2) ?(variant = Variant.llb8) () =
+let setup ?(n_cores = 2) ?(variant = Variant.llb8) ?(requester_wins = true) () =
   let e = Engine.create ~n_cores in
   let m = Memsys.create Params.barcelona e in
-  let a = Asf.create m variant in
+  let a = Asf.create m ~requester_wins variant in
   (* Pre-map the low pages (words 0..32767), as an OS would after program
      setup; tests of fault behaviour use addresses beyond this window. *)
   for p = 0 to 63 do
@@ -291,6 +291,70 @@ let test_requester_wins_write_read () =
   | Some Abort.Contention -> ()
   | _ -> Alcotest.fail "writer aborted by reader probe");
   Alcotest.(check int) "no speculative residue" 77 (Memsys.peek m 600)
+
+let test_requester_loses_spec_conflict () =
+  (* requester_wins:false ablation: a speculative access that would
+     conflict with another region aborts the *requesting* region; the
+     holder keeps its protection and commits. *)
+  let e, m, a = setup ~requester_wins:false () in
+  Memsys.poke m 640 5;
+  let requester = ref None in
+  let holder = ref None in
+  run_threads e
+    [
+      (fun () ->
+        try
+          Asf.speculate a ~core:0;
+          ignore (Asf.lock_load a ~core:0 640);
+          Engine.elapse 4000 (* hold the line while core 1 collides *);
+          Asf.lock_store a ~core:0 640 6;
+          Asf.commit a ~core:0
+        with Asf.Aborted r -> holder := Some r);
+      (fun () ->
+        Engine.elapse 500;
+        try
+          Asf.speculate a ~core:1;
+          Asf.lock_store a ~core:1 640 99;
+          Asf.commit a ~core:1
+        with Asf.Aborted r -> requester := Some r);
+    ];
+  (match !requester with
+  | Some Abort.Contention -> ()
+  | Some r -> Alcotest.failf "requester: expected contention, got %s" (Abort.to_string r)
+  | None -> Alcotest.fail "requester must self-abort under requester-loses");
+  Alcotest.(check bool) "holder survives" true (!holder = None);
+  Alcotest.(check int) "holder's commit is the one published" 6 (Memsys.peek m 640);
+  Alcotest.(check int) "exactly one commit" 1 (Asf.commits a);
+  Alcotest.(check int) "requester knows the line"
+    (Addr.line_base (Addr.line_of 640))
+    (match Asf.last_conflict a ~core:1 with Some l -> l | None -> -1)
+
+let test_requester_loses_plain_still_dooms () =
+  (* Even with requester_wins:false, a *non-speculative* requester cannot
+     be the one to back off — strong isolation demands the holder aborts
+     and rolls back before the plain access completes. *)
+  let e, m, a = setup ~requester_wins:false () in
+  Memsys.poke m 648 77;
+  let seen = ref (-1) in
+  let holder = ref None in
+  run_threads e
+    [
+      (fun () ->
+        try
+          Asf.speculate a ~core:0;
+          Asf.lock_store a ~core:0 648 88;
+          Engine.elapse 4000;
+          Asf.commit a ~core:0
+        with Asf.Aborted r -> holder := Some r);
+      (fun () ->
+        Engine.elapse 500;
+        seen := Asf.plain_load a ~core:1 648);
+    ];
+  (match !holder with
+  | Some Abort.Contention -> ()
+  | _ -> Alcotest.fail "holder must be doomed by the plain access");
+  Alcotest.(check int) "plain reader saw the rolled-back value" 77 !seen;
+  Alcotest.(check int) "no speculative residue" 77 (Memsys.peek m 648)
 
 let test_read_read_no_conflict () =
   let e, m, a = setup () in
@@ -653,6 +717,9 @@ let () =
         [
           Alcotest.test_case "write kills reader" `Quick test_requester_wins_read_write;
           Alcotest.test_case "read kills writer" `Quick test_requester_wins_write_read;
+          Alcotest.test_case "requester-loses spec" `Quick test_requester_loses_spec_conflict;
+          Alcotest.test_case "requester-loses plain" `Quick
+            test_requester_loses_plain_still_dooms;
           Alcotest.test_case "read/read ok" `Quick test_read_read_no_conflict;
           Alcotest.test_case "isolation" `Quick test_speculative_store_invisible_until_commit;
         ] );

@@ -33,8 +33,8 @@ let atomic tx body =
     | v -> (
         match Stm.commit tx with
         | () -> v
-        | exception Stm.Stm_abort -> pause delay)
-    | exception Stm.Stm_abort -> pause delay
+        | exception Stm.Stm_abort _ -> pause delay)
+    | exception Stm.Stm_abort _ -> pause delay
   and pause delay =
     Engine.elapse (delay + Prng.int backoff_rng delay);
     go (min (2 * delay) 5000)
@@ -66,7 +66,7 @@ let test_abort_undoes_writes () =
         Stm.start tx;
         Stm.store tx 1000 50;
         Stm.store tx 1064 70;
-        (try Stm.abort tx with Stm.Stm_abort -> ()));
+        (try Stm.abort tx with Stm.Stm_abort _ -> ()));
     ];
   Alcotest.(check int) "first undone" 5 (Memsys.peek m 1000);
   Alcotest.(check int) "second undone" 7 (Memsys.peek m 1064);
@@ -91,7 +91,7 @@ let test_write_write_conflict_suicides () =
         (try
            Stm.store tx 2000 2;
            Stm.commit tx
-         with Stm.Stm_abort -> second_aborted := true));
+         with Stm.Stm_abort _ -> second_aborted := true));
     ];
   Alcotest.(check bool) "encounter-time conflict aborts" true !second_aborted;
   Alcotest.(check int) "winner's value" 1 (Memsys.peek m 2000)
@@ -113,7 +113,7 @@ let test_load_locked_aborts () =
         let tx = Stm.make_tx stm ~core:1 in
         Stm.start tx;
         (try ignore (Stm.load tx 2100)
-         with Stm.Stm_abort -> reader_aborted := true));
+         with Stm.Stm_abort _ -> reader_aborted := true));
     ];
   Alcotest.(check bool) "reader suicides on locked orec" true !reader_aborted
 
@@ -169,7 +169,7 @@ let test_inconsistent_snapshot_aborts () =
            (* If we get here the snapshot must be consistent. *)
            Alcotest.(check (pair int int)) "consistent" (1, 2) (x, y);
            Stm.commit tx
-         with Stm.Stm_abort -> aborted := true));
+         with Stm.Stm_abort _ -> aborted := true));
     ];
   Alcotest.(check bool) "stale snapshot aborted" true !aborted
 
@@ -297,7 +297,7 @@ let test_wb_abort_cheap_and_clean () =
         let tx = Stm.make_tx stm ~core:0 in
         Stm.start tx;
         Stm.store tx 1000 9;
-        (try Stm.abort tx with Stm.Stm_abort -> ()));
+        (try Stm.abort tx with Stm.Stm_abort _ -> ()));
     ];
   Alcotest.(check int) "nothing to undo" 5 (Memsys.peek m 1000)
 
