@@ -19,6 +19,7 @@ module Stamp = Asf_stamp.Stamp
 module C = Asf_stamp.Stamp_common
 module Trace = Asf_trace.Trace
 module Check = Asf_check.Check
+module Faults = Asf_faults.Faults
 
 (* ------------------------------------------------------------------ *)
 (* Shared mode parsing                                                  *)
@@ -124,6 +125,45 @@ let with_check check run =
           end)
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Install a fault injector around [run] when --faults PLAN was given;
+   afterwards print the per-site injection counts. --faults=none (or an
+   all-zero merge) installs nothing at all, so such runs are bit-identical
+   to runs without the flag. *)
+let with_faults fspec fseed run =
+  match fspec with
+  | None -> run ()
+  | Some spec -> (
+      match Faults.plan_of_spec spec with
+      | Error m ->
+          Printf.eprintf "%s\n" m;
+          1
+      | Ok plan ->
+          if Faults.plan_is_none plan then run ()
+          else begin
+            let fl = Faults.create ~seed:fseed plan in
+            Faults.install fl;
+            let rc = Fun.protect ~finally:Faults.uninstall run in
+            Printf.printf "faults[%s seed=%d]: %d injection(s)\n" plan.Faults.pname
+              fseed (Faults.total fl);
+            List.iter
+              (fun (site, n) -> if n > 0 then Printf.printf "  %-17s %d\n" site n)
+              (Faults.counts fl);
+            rc
+          end)
+
+(* A watchdog diagnosis is a distinct, deliberate outcome (exit code 3):
+   the run made no progress and says why — the negative soak fixture
+   relies on it. *)
+let catch_livelock f =
+  try f ()
+  with Tm.Livelock d ->
+    Format.eprintf "%a@." Tm.pp_diagnosis d;
+    3
+
+(* ------------------------------------------------------------------ *)
 (* repro                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -154,7 +194,7 @@ let run_one ~quick ~seed ~csv id =
       Printf.printf "[%s done in %.1fs host time]\n%!" id (Unix.gettimeofday () -. t0);
       0
 
-let repro ids all quick seed csv do_list trace tfilter check =
+let repro ids all quick seed csv do_list trace tfilter check faults fseed =
   if do_list then list_experiments ()
   else
     let ids = if all then Experiments.ids () else ids in
@@ -163,20 +203,24 @@ let repro ids all quick seed csv do_list trace tfilter check =
       1
     end
     else
-      with_trace trace tfilter (fun () ->
-          with_check check (fun () ->
-              List.fold_left
-                (fun rc id -> max rc (run_one ~quick ~seed ~csv id))
-                0 ids))
+      with_faults faults fseed (fun () ->
+          with_trace trace tfilter (fun () ->
+              with_check check (fun () ->
+                  List.fold_left
+                    (fun rc id ->
+                      max rc (catch_livelock (fun () -> run_one ~quick ~seed ~csv id)))
+                    0 ids)))
 
 (* ------------------------------------------------------------------ *)
 (* intset                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let run_intset mode structure range updates threads txns early_release seed trace tfilter
-    check =
+    check faults fseed =
+  with_faults faults fseed @@ fun () ->
   with_trace trace tfilter @@ fun () ->
   with_check check @@ fun () ->
+  catch_livelock @@ fun () ->
   let structure =
     match structure with
     | "linked-list" -> Some Intset.Linked_list
@@ -209,15 +253,23 @@ let run_intset mode structure range updates threads txns early_release seed trac
         range updates threads r.Intset.throughput_tx_per_us r.Intset.cycles;
       print_stats r.Intset.stats;
       if not r.Intset.size_ok then Printf.printf "WARNING: size check failed\n";
-      if r.Intset.size_ok then 0 else 1
+      (* Progress: every requested transaction must have committed, with
+         or without injected faults. *)
+      let progressed = Stats.commits r.Intset.stats = r.Intset.txns in
+      if not progressed then
+        Printf.printf "WARNING: progress check failed (%d of %d txns committed)\n"
+          (Stats.commits r.Intset.stats) r.Intset.txns;
+      if r.Intset.size_ok && progressed then 0 else 1
 
 (* ------------------------------------------------------------------ *)
 (* stamp                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_stamp app mode threads scale seed trace tfilter check =
+let run_stamp app mode threads scale seed trace tfilter check faults fseed =
+  with_faults faults fseed @@ fun () ->
   with_trace trace tfilter @@ fun () ->
   with_check check @@ fun () ->
+  catch_livelock @@ fun () ->
   match (Stamp.of_name app, List.assoc_opt mode modes) with
   | None, _ ->
       Printf.eprintf "unknown app (%s)\n"
@@ -282,6 +334,25 @@ let check_arg =
               all reported numbers are identical with and without it; the exit \
               code is non-zero if any guarantee was violated.")
 
+let faults_arg =
+  Arg.(value & opt (some string) None
+       & info [ "faults" ] ~docv:"PLAN"
+           ~doc:
+             ("Inject deterministic faults while the workload runs: a \
+               comma-separated merge of the named plans "
+             ^ String.concat ", "
+                 (List.map (fun n -> "$(b," ^ n ^ ")") Faults.plan_names)
+             ^ ". The same ($(docv), $(b,--faults-seed)) pair reproduces the run \
+                bit-identically; $(b,none) is bit-identical to omitting the flag. \
+                A run ended by the progress watchdog exits with code 3."))
+
+let faults_seed_arg =
+  Arg.(value & opt int 1
+       & info [ "faults-seed" ] ~docv:"N"
+           ~doc:
+             "Seed of the fault-injection draws (independent of $(b,--seed), so \
+              the same workload can be perturbed differently).")
+
 let repro_cmd =
   let ids =
     Arg.(value & opt_all string []
@@ -298,7 +369,7 @@ let repro_cmd =
     (Cmd.info "repro" ~doc:"Reproduce the paper's tables and figures")
     Term.(
       const repro $ ids $ all $ quick $ seed_arg $ csv $ list $ trace_arg
-      $ trace_filter_arg $ check_arg)
+      $ trace_filter_arg $ check_arg $ faults_arg $ faults_seed_arg)
 
 let intset_cmd =
   let structure =
@@ -318,7 +389,8 @@ let intset_cmd =
     (Cmd.info "intset" ~doc:"Run one IntegerSet configuration")
     Term.(
       const run_intset $ mode_arg $ structure $ range $ updates $ threads_arg $ txns $ er
-      $ seed_arg $ trace_arg $ trace_filter_arg $ check_arg)
+      $ seed_arg $ trace_arg $ trace_filter_arg $ check_arg $ faults_arg
+      $ faults_seed_arg)
 
 let stamp_cmd =
   let app_arg =
@@ -332,7 +404,7 @@ let stamp_cmd =
     (Cmd.info "stamp" ~doc:"Run one STAMP application")
     Term.(
       const run_stamp $ app_arg $ mode_arg $ threads_arg $ scale $ seed_arg $ trace_arg
-      $ trace_filter_arg $ check_arg)
+      $ trace_filter_arg $ check_arg $ faults_arg $ faults_seed_arg)
 
 let main_cmd =
   let doc =
@@ -342,15 +414,15 @@ let main_cmd =
   Cmd.group
     ~default:
       Term.(
-        const (fun ids all quick seed csv list trace tfilter check ->
-            repro ids all quick seed csv list trace tfilter check)
+        const (fun ids all quick seed csv list trace tfilter check faults fseed ->
+            repro ids all quick seed csv list trace tfilter check faults fseed)
         $ Arg.(value & opt_all string [] & info [ "e"; "experiment" ] ~docv:"ID")
         $ Arg.(value & flag & info [ "all" ])
         $ Arg.(value & flag & info [ "quick" ])
         $ seed_arg
         $ Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR")
         $ Arg.(value & flag & info [ "list" ])
-        $ trace_arg $ trace_filter_arg $ check_arg)
+        $ trace_arg $ trace_filter_arg $ check_arg $ faults_arg $ faults_seed_arg)
     (Cmd.info "asf_bench" ~doc)
     [ repro_cmd; intset_cmd; stamp_cmd ]
 

@@ -3,6 +3,7 @@ module Engine = Asf_engine.Engine
 module Addr = Asf_mem.Addr
 module Ram = Asf_mem.Ram
 module Trace = Asf_trace.Trace
+module Faults = Asf_faults.Faults
 
 type fault = Unmapped of int | Tlb_miss
 
@@ -13,6 +14,7 @@ type t = {
   tlb : Tlb.t;
   hier : Hierarchy.t;
   tracer : Trace.t;
+  faults : Faults.t;
   mutable probe_hook : requester:int -> line:int -> write:bool -> unit;
   mutable access_hook :
     (core:int -> addr:Addr.t -> write:bool -> speculative:bool -> unit) option;
@@ -31,6 +33,7 @@ let create params engine =
     tlb = Tlb.create params ~n_cores;
     hier = Hierarchy.create params ~n_cores;
     tracer = Trace.installed ();
+    faults = Faults.installed ();
     probe_hook = (fun ~requester:_ ~line:_ ~write:_ -> ());
     access_hook = None;
     fault_hook = None;
@@ -97,6 +100,27 @@ let rec translate t ~core ~speculative addr =
    a fill can displace a hybrid-tracked line and doom the *requester's
    own* region, whose rollback must cover this very store. *)
 let timed_access t ~core ~speculative ~write ~apply addr =
+  (* Fault injection, drawn per access before translation. [page_unmap]
+     models the OS paging the target out (page-table removal + shootdown):
+     translation then takes the real minor-fault path — aborting an
+     in-flight ASF region, or OS-serviced otherwise. [tlb_flush] is a
+     shootdown only: the page stays mapped, the access just repays a page
+     walk. Both reuse the genuine recovery paths; nothing is short-cut. *)
+  if Faults.enabled t.faults then begin
+    let page = Addr.page_of addr in
+    if Faults.page_unmap t.faults ~core then begin
+      Trace.emit t.tracer ~core
+        ~cycle:(Engine.core_time t.engine core)
+        (Trace.Fault_inject { kind = "page-unmap" });
+      Tlb.unmap_page t.tlb page
+    end
+    else if Faults.tlb_flush t.faults ~core then begin
+      Trace.emit t.tracer ~core
+        ~cycle:(Engine.core_time t.engine core)
+        (Trace.Fault_inject { kind = "tlb-flush" });
+      Tlb.flush_page t.tlb page
+    end
+  end;
   let extra = translate t ~core ~speculative addr in
   let line = Addr.line_of addr in
   t.probe_hook ~requester:core ~line ~write;

@@ -39,6 +39,16 @@ let map_range t addr words =
 
 let set_abort_on_tlb_miss t b = t.abort_on_tlb_miss <- b
 
+(* A shootdown invalidates the cached translation on every core; the next
+   access to the page pays a full page walk. *)
+let flush_page t page =
+  Array.iter (fun c -> ignore (Cache.invalidate c page)) t.l1;
+  Array.iter (fun c -> ignore (Cache.invalidate c page)) t.l2
+
+let unmap_page t page =
+  Hashtbl.remove t.page_table page;
+  flush_page t page
+
 let translate t ~core addr ~speculative =
   let page = Addr.page_of addr in
   let l1 = t.l1.(core) and l2 = t.l2.(core) in

@@ -33,4 +33,15 @@ val map_range : t -> Asf_mem.Addr.t -> int -> unit
 val set_abort_on_tlb_miss : t -> bool -> unit
 (** Ablation switch (default off = ASF semantics). *)
 
+val flush_page : t -> int -> unit
+(** TLB shootdown: invalidate the page's cached translation in every
+    core's L1 and L2 TLB, leaving the page table untouched — the next
+    access pays a full page walk. *)
+
+val unmap_page : t -> int -> unit
+(** OS page-table removal plus shootdown ({!flush_page}): the next access
+    to the page takes the first-touch minor-fault path — inside an ASF
+    region that aborts it; otherwise the OS services the fault and remaps
+    the page. *)
+
 val mapped_pages : t -> int

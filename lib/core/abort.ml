@@ -8,6 +8,7 @@ type t =
   | Explicit of int
   | Malloc
   | Disallowed
+  | Spurious
 
 let index = function
   | Contention -> 0
@@ -19,8 +20,9 @@ let index = function
   | Explicit _ -> 6
   | Malloc -> 7
   | Disallowed -> 8
+  | Spurious -> 9
 
-let n_classes = 9
+let n_classes = 10
 
 let class_names =
   [|
@@ -33,6 +35,7 @@ let class_names =
     "explicit";
     "malloc";
     "disallowed";
+    "spurious";
   |]
 
 let class_name i = class_names.(i)

@@ -18,6 +18,11 @@ type t =
   | Explicit of int  (** ABORT instruction with an immediate *)
   | Malloc  (** ASF-TM: speculative allocation pool exhausted *)
   | Disallowed  (** disallowed instruction / nesting overflow *)
+  | Spurious
+      (** spec-permitted spurious abort with no architectural cause;
+          delivered only by the {!Asf_faults} injection layer (real
+          hardware may abort spuriously at any time, so the runtime must
+          treat this exactly like a transient contention abort) *)
 
 val index : t -> int
 (** Dense index for statistics arrays, in [0, n_classes). [Page_fault _]

@@ -4,6 +4,7 @@ module Ram = Asf_mem.Ram
 module Memsys = Asf_cache.Memsys
 module Tlb = Asf_cache.Tlb
 module Trace = Asf_trace.Trace
+module Faults = Asf_faults.Faults
 
 exception Aborted of Abort.t
 
@@ -61,6 +62,7 @@ type t = {
   regions : region array;
   quantum : int;
   tracer : Trace.t;
+  faults : Faults.t;
   mutable observer : (core:int -> observer_event -> unit) option;
   mutable speculates : int;
   mutable commits : int;
@@ -156,6 +158,11 @@ let interrupt_pending t core =
   let r = region t core in
   now / t.quantum <> r.start_time / t.quantum
 
+let emit_inject t core kind =
+  Trace.emit t.tracer ~core
+    ~cycle:(Engine.core_time t.engine core)
+    (Trace.Fault_inject { kind })
+
 let check t core =
   let r = region t core in
   if not r.active then invalid_arg "Asf: ASF operation outside a speculative region";
@@ -163,6 +170,22 @@ let check t core =
   if interrupt_pending t core then begin
     doom t core Abort.Interrupt;
     finish_abort t core
+  end;
+  (* Fault injection: the spec permits an implementation to abort a region
+     spuriously at any time, and a timer interrupt may arrive ahead of the
+     quantum boundary. Both are drawn per ASF operation, so injection
+     pressure scales with region length — like the real hazards do. *)
+  if Faults.enabled t.faults then begin
+    if Faults.spurious_abort t.faults ~core then begin
+      emit_inject t core "spurious-abort";
+      doom t core Abort.Spurious;
+      finish_abort t core
+    end;
+    if Faults.timer_jitter t.faults ~core then begin
+      emit_inject t core "timer-jitter";
+      doom t core Abort.Interrupt;
+      finish_abort t core
+    end
   end
 
 let create ?(costs = default_costs) ?(requester_wins = true)
@@ -191,6 +214,7 @@ let create ?(costs = default_costs) ?(requester_wins = true)
             });
       quantum = (Memsys.params mem).Asf_machine.Params.interrupt_quantum;
       tracer = Memsys.tracer mem;
+      faults = Faults.installed ();
       observer = None;
       speculates = 0;
       commits = 0;
@@ -247,6 +271,16 @@ let speculate t ~core =
     r.doomed <- None;
     r.last_conflict <- None;
     r.start_time <- Engine.core_time t.engine core;
+    (* Transient capacity reduction, drawn once per outermost region: ASF
+       only guarantees a minimum protected-line capacity, so a region may
+       find fewer entries usable than the nominal LLB size. *)
+    if Faults.enabled t.faults then begin
+      match Faults.capacity_throttle t.faults ~core with
+      | Some lines ->
+          emit_inject t core "capacity-throttle";
+          Llb.set_limit r.llb (Some lines)
+      | None -> Llb.set_limit r.llb None
+    end;
     t.speculates <- t.speculates + 1;
     notify t ~core Obs_speculate;
     Engine.elapse t.costs.speculate_cycles
@@ -371,6 +405,18 @@ let protected_lines t ~core =
   Llb.entries r.llb + Hashtbl.length r.tracked
 
 let written_lines t ~core = Llb.written_count (region t core).llb
+
+(* Injection entry points: doom passively (the victim observes the abort
+   at its next ASF operation, exactly like a remote probe) rather than
+   raising here — the injector is not running on the victim core. *)
+let inject_abort t ~core reason =
+  let r = region t core in
+  if r.active && r.doomed = None then begin
+    emit_inject t core (Abort.to_string reason);
+    doom t core reason
+  end
+
+let throttle_capacity t ~core limit = Llb.set_limit (region t core).llb limit
 
 let speculates t = t.speculates
 

@@ -2,15 +2,30 @@ type entry = { mutable backup : int array option }
 
 type t = {
   capacity : int;
+  mutable limit : int option;
   lines : (int, entry) Hashtbl.t;
   mutable written_count : int;
 }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Llb.create: capacity must be positive";
-  { capacity; lines = Hashtbl.create (min 1024 (2 * capacity)); written_count = 0 }
+  {
+    capacity;
+    limit = None;
+    lines = Hashtbl.create (min 1024 (2 * capacity));
+    written_count = 0;
+  }
 
 let capacity t = t.capacity
+
+let set_limit t limit =
+  (match limit with
+  | Some n when n <= 0 -> invalid_arg "Llb.set_limit: limit must be positive"
+  | _ -> ());
+  t.limit <- limit
+
+let effective_capacity t =
+  match t.limit with Some n -> min n t.capacity | None -> t.capacity
 
 let entries t = Hashtbl.length t.lines
 
@@ -23,7 +38,7 @@ let written t line =
 
 let protect_read t line =
   if Hashtbl.mem t.lines line then true
-  else if Hashtbl.length t.lines >= t.capacity then false
+  else if Hashtbl.length t.lines >= effective_capacity t then false
   else begin
     Hashtbl.add t.lines line { backup = None };
     true
@@ -38,7 +53,7 @@ let protect_write t line ~backup =
       end;
       true
   | None ->
-      if Hashtbl.length t.lines >= t.capacity then false
+      if Hashtbl.length t.lines >= effective_capacity t then false
       else begin
         Hashtbl.add t.lines line { backup = Some backup };
         t.written_count <- t.written_count + 1;

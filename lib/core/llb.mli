@@ -11,6 +11,19 @@ type t
 val create : capacity:int -> t
 
 val capacity : t -> int
+(** The nominal (hardware) entry count. *)
+
+val set_limit : t -> int option -> unit
+(** Transiently cap the usable entry count at [min limit capacity] —
+    the fault-injection model of a transient capacity reduction (the ASF
+    spec only promises a {e minimum} guaranteed capacity; an
+    implementation may offer less at times). [None] restores the nominal
+    capacity; already-protected lines are never evicted by a new limit.
+    @raise Invalid_argument on a non-positive limit. *)
+
+val effective_capacity : t -> int
+(** [min limit capacity], the bound {!protect_read}/{!protect_write}
+    enforce. *)
 
 val entries : t -> int
 (** Number of protected lines currently held. *)

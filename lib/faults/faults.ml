@@ -1,0 +1,233 @@
+module Prng = Asf_engine.Prng
+
+type plan = {
+  pname : string;
+  spurious_bp : int;
+  jitter_bp : int;
+  capacity_bp : int;
+  capacity_lines : int;
+  tlb_flush_bp : int;
+  page_unmap_bp : int;
+  preempt_bp : int;
+  preempt_cycles : int;
+  serial_stall_bp : int;
+  serial_stall_cycles : int;
+  serial_hang : bool;
+}
+
+let none =
+  {
+    pname = "none";
+    spurious_bp = 0;
+    jitter_bp = 0;
+    capacity_bp = 0;
+    capacity_lines = 0;
+    tlb_flush_bp = 0;
+    page_unmap_bp = 0;
+    preempt_bp = 0;
+    preempt_cycles = 0;
+    serial_stall_bp = 0;
+    serial_stall_cycles = 0;
+    serial_hang = false;
+  }
+
+(* Rates are tuned against the per-opportunity frequency of each site: ASF
+   operations and memory accesses are per-instruction frequent (rates stay
+   in single-digit basis points), attempts and serial acquisitions are
+   per-transaction rare (percent-scale rates). *)
+let plan_table =
+  [
+    ("none", none);
+    ( "jitter",
+      {
+        none with
+        pname = "jitter";
+        jitter_bp = 12;
+        preempt_bp = 400;
+        preempt_cycles = 9_000;
+      } );
+    ( "pagefaults",
+      { none with pname = "pagefaults"; tlb_flush_bp = 60; page_unmap_bp = 15 } );
+    ("spurious", { none with pname = "spurious"; spurious_bp = 20 });
+    ( "capacity",
+      { none with pname = "capacity"; capacity_bp = 1_200; capacity_lines = 4 } );
+    ( "stall",
+      {
+        none with
+        pname = "stall";
+        serial_stall_bp = 4_000;
+        serial_stall_cycles = 40_000;
+      } );
+    ( "storm",
+      {
+        pname = "storm";
+        spurious_bp = 20;
+        jitter_bp = 12;
+        capacity_bp = 1_200;
+        capacity_lines = 4;
+        tlb_flush_bp = 60;
+        page_unmap_bp = 15;
+        preempt_bp = 400;
+        preempt_cycles = 9_000;
+        serial_stall_bp = 4_000;
+        serial_stall_cycles = 40_000;
+        serial_hang = false;
+      } );
+    ( "livelock",
+      { none with pname = "livelock"; spurious_bp = 10_000; serial_hang = true } );
+  ]
+
+let plan_names = List.map fst plan_table
+
+let merge a b =
+  {
+    pname = (if a.pname = "none" then b.pname
+             else if b.pname = "none" then a.pname
+             else a.pname ^ "+" ^ b.pname);
+    spurious_bp = max a.spurious_bp b.spurious_bp;
+    jitter_bp = max a.jitter_bp b.jitter_bp;
+    capacity_bp = max a.capacity_bp b.capacity_bp;
+    capacity_lines =
+      (* The throttle that bites is the *smaller* non-zero one. *)
+      (match (a.capacity_lines, b.capacity_lines) with
+      | 0, n | n, 0 -> n
+      | m, n -> min m n);
+    tlb_flush_bp = max a.tlb_flush_bp b.tlb_flush_bp;
+    page_unmap_bp = max a.page_unmap_bp b.page_unmap_bp;
+    preempt_bp = max a.preempt_bp b.preempt_bp;
+    preempt_cycles = max a.preempt_cycles b.preempt_cycles;
+    serial_stall_bp = max a.serial_stall_bp b.serial_stall_bp;
+    serial_stall_cycles = max a.serial_stall_cycles b.serial_stall_cycles;
+    serial_hang = a.serial_hang || b.serial_hang;
+  }
+
+let plan_of_spec spec =
+  let names =
+    String.split_on_char ',' spec |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if names = [] then Ok none
+  else
+    List.fold_left
+      (fun acc name ->
+        match acc with
+        | Error _ as e -> e
+        | Ok p -> (
+            match List.assoc_opt name plan_table with
+            | Some q -> Ok (merge p q)
+            | None ->
+                Error
+                  (Printf.sprintf "unknown fault plan %S (valid: %s)" name
+                     (String.concat ", " plan_names))))
+      (Ok none) names
+
+let plan_is_none p = { p with pname = "none" } = none
+
+(* ------------------------------------------------------------------ *)
+(* Instances                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Injection sites, in reporting order. *)
+let site_spurious = 0
+
+let site_jitter = 1
+
+let site_capacity = 2
+
+let site_tlb_flush = 3
+
+let site_page_unmap = 4
+
+let site_preempt = 5
+
+let site_serial_stall = 6
+
+let n_sites = 7
+
+let site_names =
+  [|
+    "spurious-abort"; "timer-jitter"; "capacity-throttle"; "tlb-flush";
+    "page-unmap"; "preempt-stall"; "serial-stall";
+  |]
+
+type t = {
+  enabled : bool;
+  plan : plan;
+  seed : int;
+  streams : (int, Prng.t) Hashtbl.t;  (** keyed by [core * n_sites + site] *)
+  hits : int array;
+}
+
+let make ~enabled ~seed plan =
+  { enabled; plan; seed; streams = Hashtbl.create 64; hits = Array.make n_sites 0 }
+
+let null = make ~enabled:false ~seed:0 none
+
+let create ?(seed = 1) plan = make ~enabled:true ~seed plan
+
+let plan t = t.plan
+
+let seed t = t.seed
+
+let enabled t = t.enabled
+
+let global = ref null
+
+let install t = global := t
+
+let uninstall () = global := null
+
+let installed () = !global
+
+(* Per-(site, core) stream: jump the root SplitMix64 sequence to the
+   (site, core) index and split — each stream's initial state goes through
+   the full 64-bit finalizer, so streams are pairwise decorrelated and one
+   site's draw count never shifts another's sequence. *)
+let stream t ~site ~core =
+  let key = (core * n_sites) + site in
+  match Hashtbl.find_opt t.streams key with
+  | Some g -> g
+  | None ->
+      let root = Prng.create t.seed in
+      for _ = 0 to key do
+        ignore (Prng.next64 root)
+      done;
+      let g = Prng.split root in
+      Hashtbl.add t.streams key g;
+      g
+
+let hit t ~site ~core bp =
+  t.enabled && bp > 0
+  && Prng.int (stream t ~site ~core) 10_000 < bp
+  && begin
+       t.hits.(site) <- t.hits.(site) + 1;
+       true
+     end
+
+let spurious_abort t ~core = hit t ~site:site_spurious ~core t.plan.spurious_bp
+
+let timer_jitter t ~core = hit t ~site:site_jitter ~core t.plan.jitter_bp
+
+let capacity_throttle t ~core =
+  if hit t ~site:site_capacity ~core t.plan.capacity_bp then
+    Some t.plan.capacity_lines
+  else None
+
+let tlb_flush t ~core = hit t ~site:site_tlb_flush ~core t.plan.tlb_flush_bp
+
+let page_unmap t ~core = hit t ~site:site_page_unmap ~core t.plan.page_unmap_bp
+
+let preempt_stall t ~core =
+  if hit t ~site:site_preempt ~core t.plan.preempt_bp then t.plan.preempt_cycles
+  else 0
+
+let serial_stall t ~core =
+  if hit t ~site:site_serial_stall ~core t.plan.serial_stall_bp then
+    t.plan.serial_stall_cycles
+  else 0
+
+let serial_hang t = t.enabled && t.plan.serial_hang
+
+let counts t = Array.to_list (Array.mapi (fun i n -> (site_names.(i), n)) t.hits)
+
+let total t = Array.fold_left ( + ) 0 t.hits

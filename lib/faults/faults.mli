@@ -1,0 +1,153 @@
+(** Faultline: seeded, fully deterministic fault injection.
+
+    The paper's environment is hostile by design: regions abort on timer
+    interrupts, system calls and page faults, the specification permits
+    {e spurious} aborts and transient capacity reductions, and the
+    runtime's only safety net is the serial-irrevocable fallback. This
+    subsystem adversarially exercises that machinery by perturbing the
+    stack through its existing hook points:
+
+    - {e timer-interrupt jitter} and {e per-core preemption stalls}
+      (delivered through the engine clock by the TM runtime),
+    - {e injected minor page faults} and {e TLB shootdowns} (the memory
+      system unmaps / flushes translations, so the real fault path runs),
+    - {e spurious region aborts} and {e transient capacity reduction}
+      (the ASF core's injection entry points),
+    - {e serial-lock-holder stalls} (the TM runtime stalls while holding
+      the serial-irrevocable lock).
+
+    Every injection decision is drawn from a per-(site, core) SplitMix64
+    stream derived from one seed, and injection sites are visited in the
+    deterministic engine order — so a failure under plan [p] with seed
+    [s] reproduces bit-identically from [(p, s)], unlike wall-clock chaos
+    testing. An installed instance with all-zero rates performs no draws
+    and no injections: its runs are bit-identical to uninjected ones.
+
+    Like {!Asf_trace.Trace} and the checking layer, an instance is
+    {!install}ed globally and picked up by every simulated system created
+    afterwards; the shared {!null} instance (all rates zero, disabled)
+    makes the uninstalled hot path one field check. *)
+
+(** {1 Plans} *)
+
+type plan = {
+  pname : string;  (** plan name, ["a+b"] after a merge *)
+  spurious_bp : int;
+      (** basis points (1/100 %) per ASF operation: doom the region with a
+          spec-permitted spurious abort *)
+  jitter_bp : int;
+      (** basis points per ASF operation: an extra timer interrupt lands
+          inside the region (dooms it with [Abort.Interrupt]) *)
+  capacity_bp : int;
+      (** basis points per region start: run this region with a
+          transiently reduced LLB capacity *)
+  capacity_lines : int;  (** the reduced capacity, in lines *)
+  tlb_flush_bp : int;
+      (** basis points per memory access: TLB shootdown — all cores'
+          cached translations of the page are invalidated (extra page
+          walks, no fault) *)
+  page_unmap_bp : int;
+      (** basis points per memory access: the page is unmapped, so the
+          next touch takes a minor page fault (aborting an in-flight
+          region; serviced by the OS outside regions) *)
+  preempt_bp : int;
+      (** basis points per transaction attempt: the core is preempted
+          before the attempt starts *)
+  preempt_cycles : int;  (** length of a preemption stall *)
+  serial_stall_bp : int;
+      (** basis points per serial-lock acquisition: the holder stalls
+          while every other core waits *)
+  serial_stall_cycles : int;  (** length of a holder stall *)
+  serial_hang : bool;
+      (** negative fixture: the serial-lock holder never proceeds; the
+          only way such a run ends is the TM runtime's progress watchdog *)
+}
+
+val none : plan
+(** All rates zero. *)
+
+val plan_names : string list
+(** The named plans: [none], [jitter] (preemption stalls + in-region
+    timer interrupts), [pagefaults] (page unmaps + TLB shootdowns),
+    [spurious] (spec-permitted spurious aborts), [capacity] (transient
+    LLB capacity reduction), [stall] (serial-lock-holder stalls),
+    [storm] (all of the above), [livelock] (the watchdog negative
+    fixture: permanent spurious aborts plus a hanging serial holder). *)
+
+val plan_of_spec : string -> (plan, string) result
+(** Parse a comma-separated list of plan names into their field-wise
+    merge (max of each rate, or of flags), e.g. ["jitter,capacity"].
+    [Error] names the unknown plan. *)
+
+val plan_is_none : plan -> bool
+(** No injection site has a non-zero rate (and no hang): installing such
+    a plan is equivalent to not installing one. *)
+
+(** {1 Instances} *)
+
+type t
+
+val null : t
+(** The shared disabled instance: {!enabled} is [false], every draw is a
+    no-injection without consuming randomness. *)
+
+val create : ?seed:int -> plan -> t
+(** A fresh injector for [plan]. All draws derive from [seed]
+    (default 1): per injection site and per core, an independent
+    SplitMix64 stream is split off a root stream jumped to the
+    (site, core) index, so one site's draws never perturb another's. *)
+
+val plan : t -> plan
+
+val seed : t -> int
+
+val enabled : t -> bool
+(** [false] only for {!null}; layers gate their injection sites on this
+    so the uninstalled cost is one field check. *)
+
+(** {1 Global installation} *)
+
+val install : t -> unit
+(** Make [t] the instance picked up by systems created afterwards
+    (mirrors {!Asf_trace.Trace.install}). *)
+
+val uninstall : unit -> unit
+
+val installed : unit -> t
+(** The installed instance, or {!null}. *)
+
+(** {1 Draw sites}
+
+    Each returns the injection decision for one opportunity and counts
+    hits. A zero rate returns immediately without drawing, so adding an
+    injection site to a layer cannot change the stream seen by plans
+    that do not use it. *)
+
+val spurious_abort : t -> core:int -> bool
+
+val timer_jitter : t -> core:int -> bool
+
+val capacity_throttle : t -> core:int -> int option
+(** [Some lines] — run the region that is starting with its LLB limited
+    to [lines] entries. *)
+
+val tlb_flush : t -> core:int -> bool
+
+val page_unmap : t -> core:int -> bool
+
+val preempt_stall : t -> core:int -> int
+(** Stall cycles to charge before the attempt ([0] = no injection). *)
+
+val serial_stall : t -> core:int -> int
+(** Stall cycles for the serial-lock holder ([0] = no injection). *)
+
+val serial_hang : t -> bool
+(** The [livelock] fixture flag (not a draw). *)
+
+(** {1 Reporting} *)
+
+val counts : t -> (string * int) list
+(** Injections performed so far, per site, in a fixed order; sites with
+    zero hits included. *)
+
+val total : t -> int

@@ -11,6 +11,7 @@ module Asf = Asf_core.Asf
 module Stm = Asf_stm.Tinystm
 module Check = Asf_check.Check
 module Trace = Asf_trace.Trace
+module Faults = Asf_faults.Faults
 
 type mode = Asf_mode of Variant.t | Stm_mode | Seq_mode | Phased_mode of Variant.t
 
@@ -29,6 +30,9 @@ type config = {
   malloc_cycles : int;
   phase_quantum : int;
   stm_strategy : Stm.strategy;
+  watchdog : bool;
+  watchdog_abort_limit : int;
+  watchdog_window : int;
 }
 
 let default_config mode ~n_cores =
@@ -50,6 +54,9 @@ let default_config mode ~n_cores =
     malloc_cycles = 40;
     phase_quantum = 400;
     stm_strategy = Stm.Write_through;
+    watchdog = true;
+    watchdog_abort_limit = 64;
+    watchdog_window = 20_000_000;
   }
 
 type path = Direct | Hw | Serial | Stm_path
@@ -69,6 +76,35 @@ type phase_state = {
   mutable to_hw_switches : int;
 }
 
+(* System-wide progress record backing the watchdog: updated at every
+   commit on any path, polled from every unbounded wait. *)
+type progress = {
+  mutable total_commits : int;
+  mutable last_commit_cycle : int;
+  mutable forced_serial : int;
+}
+
+type core_report = {
+  rep_core : int;
+  rep_path : string;
+  rep_commits : int;
+  rep_serial_commits : int;
+  rep_attempts : int;
+  rep_aborts : int;
+  rep_consec_aborts : int;
+}
+
+type diagnosis = {
+  diag_cycle : int;
+  diag_window : int;
+  diag_commits : int;
+  diag_last_commit_cycle : int;
+  diag_serial_holder : int option;
+  diag_cores : core_report list;
+}
+
+exception Livelock of diagnosis
+
 type system = {
   cfg : config;
   engine : Engine.t;
@@ -80,9 +116,12 @@ type system = {
   phase_word : Addr.t;  (** serial_lock + 1; 0 = hardware phase *)
   phase : phase_state option;
   tracer : Trace.t;
+  faults : Faults.t;
+  progress : progress;
+  mutable ctxs : ctx list;  (** every context, for watchdog diagnosis *)
 }
 
-type ctx = {
+and ctx = {
   sys : system;
   core : int;
   prng : Prng.t;
@@ -92,6 +131,8 @@ type ctx = {
   mutable depth : int;
   mutable path : path;
   mutable pending_fault : int option;
+  mutable consec_aborts : int;
+  mutable max_consec_aborts : int;
 }
 
 let create cfg =
@@ -154,6 +195,9 @@ let create cfg =
     phase_word = serial_lock + 1;
     phase;
     tracer;
+    faults = Faults.installed ();
+    progress = { total_commits = 0; last_commit_cycle = 0; forced_serial = 0 };
+    ctxs = [];
   }
 
 let engine t = t.engine
@@ -168,18 +212,37 @@ let asf t = t.asf
 
 let stm t = t.stm
 
+(* Core [i]'s PRNG is the [i+1]-th split of one root generator seeded from
+   [cfg.seed]: each stream's initial state passes through the SplitMix64
+   finalizer, so the streams are pairwise decorrelated. Deriving them
+   arithmetically ([seed + f(core)]) leaves nearby cores' sequences
+   correlated, which can synchronise their backoff draws and turn one
+   conflict into a convoy. *)
+let core_prng cfg ~core =
+  let root = Prng.create cfg.seed in
+  for _ = 1 to core do
+    ignore (Prng.split root)
+  done;
+  Prng.split root
+
 let make_ctx sys ~core =
-  {
-    sys;
-    core;
-    prng = Prng.create (sys.cfg.seed + (core * 7919) + 17);
-    stats = Stats.create ();
-    tx = (match sys.stm with Some s -> Some (Stm.make_tx s ~core) | None -> None);
-    pool = Txmalloc.create sys.galloc;
-    depth = 0;
-    path = Direct;
-    pending_fault = None;
-  }
+  let ctx =
+    {
+      sys;
+      core;
+      prng = core_prng sys.cfg ~core;
+      stats = Stats.create ();
+      tx = (match sys.stm with Some s -> Some (Stm.make_tx s ~core) | None -> None);
+      pool = Txmalloc.create sys.galloc;
+      depth = 0;
+      path = Direct;
+      pending_fault = None;
+      consec_aborts = 0;
+      max_consec_aborts = 0;
+    }
+  in
+  sys.ctxs <- ctx :: sys.ctxs;
+  ctx
 
 let core ctx = ctx.core
 
@@ -196,6 +259,103 @@ let emit ctx payload = Trace.emit ctx.sys.tracer ~core:ctx.core ~cycle:(now ctx)
 let with_cat ctx cat f =
   Stats.enter ctx.stats ~now:(now ctx) cat;
   Fun.protect ~finally:(fun () -> Stats.exit_ ctx.stats ~now:(now ctx)) f
+
+(* ------------------------------------------------------------------ *)
+(* Progress watchdog                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let path_name = function
+  | Direct -> "direct"
+  | Hw -> "hw"
+  | Serial -> "serial"
+  | Stm_path -> "stm"
+
+let diagnose sys ~cycle =
+  let holder =
+    (* Untimed peek: the diagnosis must not advance simulated time. *)
+    match Memsys.peek sys.mem sys.serial_lock with
+    | 0 -> None
+    | v -> Some (v - 1)
+  in
+  let cores =
+    List.sort
+      (fun a b -> compare a.rep_core b.rep_core)
+      (List.rev_map
+         (fun c ->
+           {
+             rep_core = c.core;
+             rep_path = path_name c.path;
+             rep_commits = Stats.commits c.stats;
+             rep_serial_commits = Stats.serial_commits c.stats;
+             rep_attempts = Stats.attempts c.stats;
+             rep_aborts = Stats.total_aborts c.stats;
+             rep_consec_aborts = c.consec_aborts;
+           })
+         sys.ctxs)
+  in
+  {
+    diag_cycle = cycle;
+    diag_window = sys.cfg.watchdog_window;
+    diag_commits = sys.progress.total_commits;
+    diag_last_commit_cycle = sys.progress.last_commit_cycle;
+    diag_serial_holder = holder;
+    diag_cores = cores;
+  }
+
+let pp_diagnosis ppf d =
+  Format.fprintf ppf
+    "@[<v>livelock: no transaction committed for %d cycles (window %d)@,\
+     cycle %d; last commit at cycle %d; %d commits system-wide@,\
+     serial lock: %s@,"
+    (d.diag_cycle - d.diag_last_commit_cycle)
+    d.diag_window d.diag_cycle d.diag_last_commit_cycle d.diag_commits
+    (match d.diag_serial_holder with
+    | Some c -> Printf.sprintf "held by core %d" c
+    | None -> "free");
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "  core %d: path=%s commits=%d (serial %d) attempts=%d aborts=%d \
+         consecutive-aborts=%d@,"
+        r.rep_core r.rep_path r.rep_commits r.rep_serial_commits r.rep_attempts
+        r.rep_aborts r.rep_consec_aborts)
+    d.diag_cores;
+  Format.fprintf ppf "@]"
+
+(* Every unbounded wait in the runtime polls this: when no transaction in
+   the whole system has committed for [watchdog_window] cycles, the run is
+   not making progress — raise a structured diagnosis instead of spinning
+   forever. *)
+let watchdog_check ctx =
+  let sys = ctx.sys in
+  if sys.cfg.watchdog then begin
+    let cycle = now ctx in
+    if cycle - sys.progress.last_commit_cycle > sys.cfg.watchdog_window then
+      raise (Livelock (diagnose sys ~cycle))
+  end
+
+let note_commit ctx =
+  ctx.consec_aborts <- 0;
+  let p = ctx.sys.progress in
+  p.total_commits <- p.total_commits + 1;
+  let cycle = now ctx in
+  if cycle > p.last_commit_cycle then p.last_commit_cycle <- cycle
+
+let note_abort ctx =
+  ctx.consec_aborts <- ctx.consec_aborts + 1;
+  if ctx.consec_aborts > ctx.max_consec_aborts then
+    ctx.max_consec_aborts <- ctx.consec_aborts
+
+(* Per-core preemption stall, drawn once per transaction attempt. *)
+let inject_preempt ctx =
+  let fl = ctx.sys.faults in
+  if Faults.enabled fl then begin
+    let n = Faults.preempt_stall fl ~core:ctx.core in
+    if n > 0 then begin
+      emit ctx (Trace.Fault_inject { kind = "preempt-stall" });
+      Engine.elapse n
+    end
+  end
 
 let the_asf ctx =
   match ctx.sys.asf with Some a -> a | None -> invalid_arg "Tm: no ASF in this mode"
@@ -278,21 +438,37 @@ let free ctx addr words =
 (* Serial-irrevocable mode                                              *)
 (* ------------------------------------------------------------------ *)
 
-let rec wait_serial_free ctx =
-  if Memsys.load ctx.sys.mem ~core:ctx.core ctx.sys.serial_lock <> 0 then begin
-    Engine.elapse 120;
-    wait_serial_free ctx
-  end
+(* Spin-wait window before the [attempt]-th re-poll of the serial lock:
+   doubles from 64 cycles and saturates at [64 lsl 7 = 8192]. Backing off
+   keeps waiters from hammering the lock's cache line (every probe of
+   which dooms hardware regions subscribed to it), while the cap bounds
+   any waiter's poll interval, so release-to-acquire latency is bounded
+   and no waiter can be starved by ever-growing sleeps. *)
+let serial_spin_window attempt = 64 lsl min attempt 7
 
-let rec acquire_serial ctx =
-  if
-    not
-      (Memsys.cas ctx.sys.mem ~core:ctx.core ctx.sys.serial_lock ~expect:0
-         ~value:(ctx.core + 1))
-  then begin
-    Engine.elapse 150;
-    acquire_serial ctx
-  end
+let wait_serial_free ctx =
+  let rec loop attempt =
+    if Memsys.load ctx.sys.mem ~core:ctx.core ctx.sys.serial_lock <> 0 then begin
+      watchdog_check ctx;
+      Engine.elapse (serial_spin_window attempt);
+      loop (attempt + 1)
+    end
+  in
+  loop 0
+
+let acquire_serial ctx =
+  let rec loop attempt =
+    if
+      not
+        (Memsys.cas ctx.sys.mem ~core:ctx.core ctx.sys.serial_lock ~expect:0
+           ~value:(ctx.core + 1))
+    then begin
+      watchdog_check ctx;
+      Engine.elapse (serial_spin_window attempt);
+      loop (attempt + 1)
+    end
+  in
+  loop 0
 
 let release_serial ctx = Memsys.store ctx.sys.mem ~core:ctx.core ctx.sys.serial_lock 0
 
@@ -305,17 +481,43 @@ let in_body ctx path f =
       ctx.path <- Direct)
     f
 
+(* Serial-holder fault injection: a stall (or, for the livelock fixture, a
+   permanent hang) after the lock is taken, while every other core waits.
+   The hang loop polls the holder's own watchdog, so even a
+   single-threaded run ends with a diagnosis rather than spinning. *)
+let inject_serial_hold ctx =
+  let fl = ctx.sys.faults in
+  if Faults.enabled fl then begin
+    let n = Faults.serial_stall fl ~core:ctx.core in
+    if n > 0 then begin
+      emit ctx (Trace.Fault_inject { kind = "serial-stall" });
+      Engine.elapse n
+    end;
+    if Faults.serial_hang fl then begin
+      emit ctx (Trace.Fault_inject { kind = "serial-hang" });
+      let rec hang () =
+        watchdog_check ctx;
+        Engine.elapse 10_000;
+        hang ()
+      in
+      hang ()
+    end
+  end
+
 let run_serial ctx f =
+  inject_preempt ctx;
   Stats.begin_attempt ctx.stats ~now:(now ctx);
   emit ctx Trace.Tx_begin;
   Txmalloc.attempt_begin ctx.pool;
   with_cat ctx Stats.cat_start_commit (fun () -> acquire_serial ctx);
   emit ctx Trace.Fallback_enter;
+  inject_serial_hold ctx;
   let r = in_body ctx Serial (fun () -> with_cat ctx Stats.cat_non_instr f) in
   emit ctx Trace.Fallback_exit;
   with_cat ctx Stats.cat_start_commit (fun () -> release_serial ctx);
   Txmalloc.attempt_commit ctx.pool;
   Stats.commit_attempt ctx.stats ~now:(now ctx) ~serial:true;
+  note_commit ctx;
   emit ctx (Trace.Tx_commit { serial = true });
   r
 
@@ -325,10 +527,15 @@ let run_serial ctx f =
 
 (* Exponential back-off window after [retries] contention aborts: doubles
    from 64 cycles and saturates at [64 lsl 10 = 65536] cycles — the single
-   place the maximum window is defined. *)
+   place the maximum window is defined. The delay is sampled from the
+   context's per-core PRNG stream; see {!core_prng} for why those streams
+   are split off one root generator rather than seeded arithmetically —
+   two cores aborting at the same cycle must draw uncorrelated windows or
+   they re-collide in lockstep. *)
 let backoff_window retries = 64 lsl min retries 10
 
 let do_backoff ctx retries =
+  watchdog_check ctx;
   with_cat ctx Stats.cat_abort_waste (fun () ->
       let delay =
         if ctx.sys.cfg.backoff then 16 + Prng.int ctx.prng (backoff_window retries)
@@ -350,9 +557,24 @@ let phase_change_code = 42
 
 let rec asf_attempt ctx f retries =
   service_pending_fault ctx;
-  if retries > ctx.sys.cfg.max_retries then run_serial ctx f
+  (* Graceful degradation, stage 1: a transaction that keeps aborting
+     without consuming retry budget (page-fault retries are free) is
+     forced onto the serial path, which cannot abort. Stage 2 — when even
+     serial execution makes no progress — is the {!Livelock} diagnosis
+     from {!watchdog_check}. *)
+  let forced =
+    ctx.sys.cfg.watchdog
+    && retries <= ctx.sys.cfg.max_retries
+    && ctx.consec_aborts >= ctx.sys.cfg.watchdog_abort_limit
+  in
+  if forced then begin
+    ctx.sys.progress.forced_serial <- ctx.sys.progress.forced_serial + 1;
+    emit ctx (Trace.Fault_inject { kind = "forced-serial" })
+  end;
+  if forced || retries > ctx.sys.cfg.max_retries then run_serial ctx f
   else begin
     let a = the_asf ctx in
+    inject_preempt ctx;
     Stats.begin_attempt ctx.stats ~now:(now ctx);
     emit ctx Trace.Tx_begin;
     Txmalloc.attempt_begin ctx.pool;
@@ -380,11 +602,13 @@ let rec asf_attempt ctx f retries =
     | r ->
         Txmalloc.attempt_commit ctx.pool;
         Stats.commit_attempt ctx.stats ~now:(now ctx) ~serial:false;
+        note_commit ctx;
         emit ctx (Trace.Tx_commit { serial = false });
         r
     | exception Asf.Aborted reason -> (
         Txmalloc.attempt_abort ctx.pool;
         Stats.abort_attempt ctx.stats ~now:(now ctx) reason;
+        note_abort ctx;
         (let addr =
            match reason with
            | Abort.Contention | Abort.Capacity ->
@@ -412,7 +636,8 @@ let rec asf_attempt ctx f retries =
             (* The paper's policy: capacity overflows (and transactions the
                hardware cannot run) restart directly in serial mode. *)
             run_serial ctx f
-        | Abort.Contention | Abort.Interrupt | Abort.Tlb_miss | Abort.Explicit _ ->
+        | Abort.Contention | Abort.Interrupt | Abort.Tlb_miss | Abort.Spurious
+        | Abort.Explicit _ ->
             do_backoff ctx retries;
             asf_attempt ctx f (retries + 1))
   end
@@ -442,6 +667,7 @@ and switch_to_hw ctx =
   with_cat ctx Stats.cat_start_commit (fun () ->
       let rec drain () =
         if ps.active_stm > 0 then begin
+          watchdog_check ctx;
           Engine.elapse 200;
           drain ()
         end
@@ -455,6 +681,7 @@ and switch_to_hw ctx =
 and stm_phased ctx f =
   let ps = phase_of ctx in
   if ps.transitioning then begin
+    watchdog_check ctx;
     Engine.elapse 200;
     stm_phased ctx f
   end
@@ -483,6 +710,7 @@ and phased_dispatch ctx f =
 
 and stm_attempt ctx f retries =
   let tx = the_tx ctx in
+  inject_preempt ctx;
   Stats.begin_attempt ctx.stats ~now:(now ctx);
   emit ctx Trace.Tx_begin;
   Txmalloc.attempt_begin ctx.pool;
@@ -495,11 +723,13 @@ and stm_attempt ctx f retries =
   | r ->
       Txmalloc.attempt_commit ctx.pool;
       Stats.commit_attempt ctx.stats ~now:(now ctx) ~serial:false;
+      note_commit ctx;
       emit ctx (Trace.Tx_commit { serial = false });
       r
   | exception Stm.Stm_abort { orec } ->
       Txmalloc.attempt_abort ctx.pool;
       Stats.abort_attempt ctx.stats ~now:(now ctx) Abort.Contention;
+      note_abort ctx;
       emit ctx
         (Trace.Tx_abort
            {
@@ -527,6 +757,7 @@ let atomic ctx f =
         emit ctx Trace.Tx_begin;
         let r = in_body ctx Direct f in
         Stats.commit_attempt ctx.stats ~now:(now ctx) ~serial:false;
+        note_commit ctx;
         emit ctx (Trace.Tx_commit { serial = false });
         r
     | Stm_mode -> stm_attempt ctx f 0
@@ -579,3 +810,9 @@ let makespan sys = Engine.max_time sys.engine
 
 let phase_switches sys =
   Option.map (fun ps -> (ps.to_sw_switches, ps.to_hw_switches)) sys.phase
+
+let total_commits sys = sys.progress.total_commits
+
+let forced_serial_count sys = sys.progress.forced_serial
+
+let max_consecutive_aborts ctx = ctx.max_consec_aborts

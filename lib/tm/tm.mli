@@ -53,6 +53,18 @@ type config = {
                             transactions *)
   stm_strategy : Asf_stm.Tinystm.strategy;
       (** versioning of the STM baseline; the paper uses write-through *)
+  watchdog : bool;
+      (** progress watchdog (default on): per-transaction
+          consecutive-abort escalation to serial mode, and a system-wide
+          zero-commit-throughput detector raising {!Livelock} *)
+  watchdog_abort_limit : int;
+      (** consecutive aborts of one transaction before it is forced onto
+          the serial path regardless of remaining retry budget (catches
+          abort loops that never charge the budget, e.g. endless injected
+          page faults); default 64 *)
+  watchdog_window : int;
+      (** cycles without {e any} commit system-wide before every
+          unbounded wait raises {!Livelock}; default 20,000,000 *)
 }
 
 val default_config : mode -> n_cores:int -> config
@@ -93,7 +105,24 @@ val backoff_window : int -> int
 (** [backoff_window retries] is the exponential back-off window (in cycles)
     sampled from after [retries] contention aborts: [64 lsl min retries 10],
     i.e. doubling from 64 and saturating at 65536 cycles. Exposed for
-    tests; {!config.backoff} controls whether it is used at all. *)
+    tests; {!config.backoff} controls whether it is used at all.
+
+    The delay is drawn from the context's per-core PRNG. Core [i]'s
+    stream is the [i+1]-th {!Asf_engine.Prng.split} of a single root
+    generator seeded from [config.seed], so every stream's initial state
+    passes through the SplitMix64 finalizer and the streams are pairwise
+    decorrelated — two cores that abort at the same cycle draw
+    independent windows. (The previous arithmetic derivation,
+    [seed + f(core)], left nearby cores' sequences correlated, which can
+    synchronise their backoff and turn one conflict into a convoy.) *)
+
+val serial_spin_window : int -> int
+(** [serial_spin_window attempt] is the bounded spin-backoff window (in
+    cycles) a serial-lock waiter sleeps before its [attempt]-th re-poll:
+    [64 lsl min attempt 7], doubling from 64 and saturating at 8192. The
+    cap bounds every waiter's poll interval, so a released lock is
+    re-acquired within a bounded delay (no waiter backs off
+    indefinitely). *)
 
 (** {1 Transactions} *)
 
@@ -167,3 +196,49 @@ val makespan : system -> int
 val phase_switches : system -> (int * int) option
 (** [Phased_mode] only: (switches to software, switches back to
     hardware). *)
+
+(** {1 Progress watchdog}
+
+    The runtime's graceful-degradation ladder under adversarial
+    conditions (see {!Asf_faults.Faults}): a transaction accumulating
+    [watchdog_abort_limit] consecutive aborts is forced onto the serial
+    path even with retry budget left; if the whole system then still
+    commits nothing for [watchdog_window] cycles, every unbounded wait
+    (serial-lock spins, back-off, phase transitions, the injected-hang
+    loop) raises {!Livelock} with a structured diagnosis, which
+    propagates out of {!run}. *)
+
+type core_report = {
+  rep_core : int;
+  rep_path : string;  (** execution path at diagnosis time:
+                          [direct]/[hw]/[serial]/[stm] *)
+  rep_commits : int;
+  rep_serial_commits : int;
+  rep_attempts : int;
+  rep_aborts : int;
+  rep_consec_aborts : int;  (** current consecutive-abort run *)
+}
+
+type diagnosis = {
+  diag_cycle : int;  (** cycle at which the watchdog fired *)
+  diag_window : int;
+  diag_commits : int;  (** commits system-wide before the stall *)
+  diag_last_commit_cycle : int;
+  diag_serial_holder : int option;
+      (** core holding the serial lock, if any — the prime suspect *)
+  diag_cores : core_report list;  (** per-context state, by core *)
+}
+
+exception Livelock of diagnosis
+
+val pp_diagnosis : Format.formatter -> diagnosis -> unit
+
+val total_commits : system -> int
+(** Commits system-wide, across all contexts and paths. *)
+
+val forced_serial_count : system -> int
+(** Times the consecutive-abort escalation forced a transaction onto the
+    serial path. *)
+
+val max_consecutive_aborts : ctx -> int
+(** Longest consecutive-abort run this context ever accumulated. *)

@@ -13,6 +13,7 @@ type payload =
   | Thread_finish
   | Thread_resume
   | Check_violation of { check : string; line_addr : int option }
+  | Fault_inject of { kind : string }
 
 type event = {
   run : int;
@@ -23,7 +24,7 @@ type event = {
   payload : payload;
 }
 
-let n_kinds = 14
+let n_kinds = 15
 
 let kind_index = function
   | Tx_begin -> 0
@@ -40,12 +41,14 @@ let kind_index = function
   | Thread_finish -> 11
   | Thread_resume -> 12
   | Check_violation _ -> 13
+  | Fault_inject _ -> 14
 
 let kind_names =
   [|
     "Tx_begin"; "Tx_commit"; "Tx_abort"; "Probe_rollback"; "Fallback_enter";
     "Fallback_exit"; "Backoff"; "Cache_evict"; "Fault_service"; "Stm_rollback";
     "Thread_spawn"; "Thread_finish"; "Thread_resume"; "Check_violation";
+    "Fault_inject";
   |]
 
 let kind_name p = kind_names.(kind_index p)
@@ -67,6 +70,7 @@ let filter_table =
     ("finish", [ 11 ]);
     ("resume", [ 12 ]);
     ("check", [ 13 ]);
+    ("inject", [ 14 ]);
   ]
 
 let filter_names = List.map fst filter_table
@@ -275,6 +279,7 @@ let args_of_payload = function
   | Check_violation { check; line_addr } ->
       ("check", "\"" ^ json_escape check ^ "\"")
       :: (match line_addr with Some a -> [ ("addr", string_of_int a) ] | None -> [])
+  | Fault_inject { kind } -> [ ("kind", "\"" ^ json_escape kind ^ "\"") ]
 
 let detail_of_payload p =
   String.concat " "

@@ -46,6 +46,10 @@ type payload =
   | Check_violation of { check : string; line_addr : int option }
       (** the {!Asf_check} subsystem flagged an invariant violation
           ([check] names it, e.g. ["strong-isolation"]) at [line_addr] *)
+  | Fault_inject of { kind : string }
+      (** the fault-injection layer perturbed the run here ([kind] is the
+          injection site, e.g. ["spurious-abort"], ["page-unmap"],
+          ["serial-stall"], or the watchdog escalation ["forced-serial"]) *)
 
 type event = {
   run : int;  (** simulated system id ([run_start] increments) *)
@@ -62,7 +66,7 @@ val kind_name : payload -> string
 val filter_names : string list
 (** Valid [filter] elements: [begin], [commit], [abort], [probe],
     [fallback], [backoff], [evict], [fault], [stm], [spawn], [finish],
-    [resume], [check]. *)
+    [resume], [check], [inject]. *)
 
 (** {1 Tracers} *)
 

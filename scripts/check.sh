@@ -19,4 +19,21 @@ for mode in llb256 stm phased; do
   "$BENCH" stamp -a kmeans-low -m "$mode" -t 4 --scale 0.2 --check > /dev/null
 done
 dune build @check
-echo "check.sh: build, tests, and checker smoke runs OK"
+
+# Fault-injection soak matrix: every named plan over intset + STAMP,
+# each under --check; correctness violations or a watchdog livelock
+# (exit 3) fail the build.
+dune build @soak
+
+# Watchdog negative fixture: under the livelock plan (permanent spurious
+# aborts + a hanging serial-lock holder) the run MUST be ended by the
+# progress watchdog with a non-zero exit; a zero exit means the watchdog
+# never fired.
+echo "watchdog negative fixture: intset / livelock plan"
+if "$BENCH" intset -s rb-tree -r 64 -u 20 -t 2 --txns 50 \
+    --faults=livelock --faults-seed=1 > /dev/null 2>&1; then
+  echo "check.sh: watchdog negative fixture FAILED to fire" >&2
+  exit 1
+fi
+
+echo "check.sh: build, tests, checker smoke, and fault soak runs OK"

@@ -1,0 +1,267 @@
+(* Tests for the Faultline fault-injection subsystem and the TM runtime's
+   progress watchdog: plan parsing/merging, bit-exact determinism, the
+   none-plan identity, correctness under every injection site, the
+   forced-serial escalation, and the livelock diagnosis. *)
+
+module Addr = Asf_mem.Addr
+module Abort = Asf_core.Abort
+module Variant = Asf_core.Variant
+module Stats = Asf_tm_rt.Stats
+module Tm = Asf_tm_rt.Tm
+module Faults = Asf_faults.Faults
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_plan_parsing () =
+  (match Faults.plan_of_spec "none" with
+  | Ok p -> Alcotest.(check bool) "none is none" true (Faults.plan_is_none p)
+  | Error m -> Alcotest.fail m);
+  (match Faults.plan_of_spec " jitter , capacity " with
+  | Ok p ->
+      Alcotest.(check bool) "merge not none" false (Faults.plan_is_none p);
+      Alcotest.(check string) "merged name" "jitter+capacity" p.Faults.pname;
+      Alcotest.(check bool) "jitter kept" true (p.Faults.jitter_bp > 0);
+      Alcotest.(check bool) "capacity kept" true (p.Faults.capacity_bp > 0)
+  | Error m -> Alcotest.fail m);
+  match Faults.plan_of_spec "storm,nonsense" with
+  | Ok _ -> Alcotest.fail "unknown plan accepted"
+  | Error m ->
+      Alcotest.(check bool) "error names the unknown plan" true
+        (contains_sub m "nonsense")
+
+let test_plan_merge_is_fieldwise_max () =
+  (* Merging is the field-wise max of rates and the or of flags, so a
+     merged plan is at least as hostile as each constituent. *)
+  match (Faults.plan_of_spec "capacity,stall,livelock", Faults.plan_of_spec "capacity") with
+  | Ok p, Ok cap ->
+      Alcotest.(check int) "capacity rate kept" cap.Faults.capacity_bp p.Faults.capacity_bp;
+      Alcotest.(check int) "capacity lines kept" cap.Faults.capacity_lines
+        p.Faults.capacity_lines;
+      Alcotest.(check bool) "stall rate kept" true (p.Faults.serial_stall_bp > 0);
+      Alcotest.(check bool) "spurious rate kept" true (p.Faults.spurious_bp > 0);
+      Alcotest.(check bool) "hang flag propagates" true p.Faults.serial_hang
+  | Error m, _ | _, Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
+(* Workload harness                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A contended 4-core counter plus a 12-line array walk: exercises
+   contention, capacity pressure (under throttles), page-table traffic,
+   and the serial path, while staying value-checkable. *)
+let run_workload ?(tweak = fun c -> c) ?(n_cores = 4) ?(per_core = 120) () =
+  let sys =
+    Tm.create (tweak (Tm.default_config (Tm.Asf_mode Variant.llb256) ~n_cores))
+  in
+  let counter = Tm.setup_alloc sys 1 in
+  let arr = Tm.setup_alloc sys (12 * Addr.words_per_line) in
+  Tm.setup_poke sys counter 0;
+  let ctxs =
+    List.init n_cores (fun core ->
+        Tm.spawn sys ~core (fun ctx ->
+            for _ = 1 to per_core do
+              Tm.atomic ctx (fun () ->
+                  let v = Tm.load ctx counter in
+                  for i = 0 to 11 do
+                    let a = arr + (i * Addr.words_per_line) in
+                    Tm.store ctx a (Tm.load ctx a + 1)
+                  done;
+                  Tm.store ctx counter (v + 1))
+            done))
+  in
+  Tm.run sys;
+  let agg = Stats.create () in
+  List.iter (fun c -> Stats.add (Tm.stats c) ~into:agg) ctxs;
+  (sys, agg, Tm.setup_peek sys counter)
+
+let with_plan plan ~seed f =
+  let fl = Faults.create ~seed plan in
+  Faults.install fl;
+  Fun.protect ~finally:Faults.uninstall (fun () -> f fl)
+
+let plan_of name =
+  match Faults.plan_of_spec name with Ok p -> p | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
+(* Determinism                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fingerprint (sys, agg, value) =
+  ( value,
+    Tm.makespan sys,
+    Stats.commits agg,
+    Stats.serial_commits agg,
+    Stats.attempts agg,
+    Array.to_list (Stats.aborts agg) )
+
+let test_same_seed_reproduces () =
+  let once () =
+    with_plan (plan_of "storm") ~seed:7 (fun fl ->
+        let r = fingerprint (run_workload ()) in
+        (r, Faults.counts fl))
+  in
+  let r1, c1 = once () in
+  let r2, c2 = once () in
+  Alcotest.(check bool) "stats and makespan bit-identical" true (r1 = r2);
+  Alcotest.(check bool) "injection counts bit-identical" true (c1 = c2)
+
+let test_different_seed_differs () =
+  let once seed =
+    with_plan (plan_of "storm") ~seed (fun _ -> fingerprint (run_workload ()))
+  in
+  (* Different injection seed, same workload seed: the perturbation (and
+     with it the makespan) must change, while correctness holds. *)
+  let (v1, m1, _, _, _, _) = once 7 and (v2, m2, _, _, _, _) = once 8 in
+  Alcotest.(check int) "both correct" v1 v2;
+  Alcotest.(check bool) "perturbation differs" true (m1 <> m2)
+
+let test_zero_rate_plan_is_identity () =
+  (* An *installed* injector whose plan has all-zero rates must be
+     bit-identical to no injector at all: zero-rate sites never draw. *)
+  let bare = fingerprint (run_workload ()) in
+  let zero =
+    with_plan Faults.none ~seed:7 (fun fl ->
+        let r = fingerprint (run_workload ()) in
+        Alcotest.(check int) "no injections" 0 (Faults.total fl);
+        r)
+  in
+  Alcotest.(check bool) "bit-identical" true (bare = zero)
+
+(* ------------------------------------------------------------------ *)
+(* Correctness and progress under every plan                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_plans_preserve_correctness () =
+  let n_cores = 4 and per_core = 120 in
+  List.iter
+    (fun name ->
+      with_plan (plan_of name) ~seed:7 (fun fl ->
+          let sys, agg, value = run_workload ~n_cores ~per_core () in
+          Alcotest.(check int) (name ^ ": counter exact") (n_cores * per_core) value;
+          Alcotest.(check int)
+            (name ^ ": every txn committed")
+            (n_cores * per_core) (Stats.commits agg);
+          Alcotest.(check int)
+            (name ^ ": system-wide commit count agrees")
+            (n_cores * per_core) (Tm.total_commits sys);
+          if name <> "none" then
+            Alcotest.(check bool) (name ^ ": injected something") true
+              (Faults.total fl > 0)))
+    [ "none"; "jitter"; "pagefaults"; "spurious"; "capacity"; "stall"; "storm" ]
+
+let test_spurious_aborts_are_retried () =
+  with_plan (plan_of "spurious") ~seed:3 (fun _ ->
+      let _, agg, value = run_workload () in
+      Alcotest.(check int) "correct" 480 value;
+      Alcotest.(check bool) "spurious aborts delivered" true
+        ((Stats.aborts agg).(Abort.index Abort.Spurious) >= 1))
+
+let test_pagefaults_plan_injects_faults () =
+  with_plan (plan_of "pagefaults") ~seed:3 (fun fl ->
+      let _, _, value = run_workload () in
+      Alcotest.(check int) "correct" 480 value;
+      let hits = Faults.counts fl in
+      Alcotest.(check bool) "page unmaps happened" true
+        (List.assoc "page-unmap" hits > 0);
+      Alcotest.(check bool) "tlb flushes happened" true
+        (List.assoc "tlb-flush" hits > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_forced_serial_escalation () =
+  (* Unmapping on (almost) every access produces endless page-fault abort
+     loops that never charge the retry budget; the consecutive-abort
+     escalation must force such transactions onto the serial path, where
+     faults are OS-serviced and the run completes correctly. *)
+  let always_unmap =
+    { Faults.none with Faults.pname = "always-unmap"; page_unmap_bp = 6_000 }
+  in
+  with_plan always_unmap ~seed:5 (fun _ ->
+      let tweak c = { c with Tm.watchdog_abort_limit = 8 } in
+      let n_cores = 2 and per_core = 8 in
+      let sys, agg, value = run_workload ~tweak ~n_cores ~per_core () in
+      Alcotest.(check int) "correct under permanent unmapping" (n_cores * per_core)
+        value;
+      Alcotest.(check int) "all committed" (n_cores * per_core) (Stats.commits agg);
+      Alcotest.(check bool) "escalation fired" true (Tm.forced_serial_count sys > 0))
+
+let test_livelock_watchdog_fires () =
+  (* The negative fixture: permanent spurious aborts push every
+     transaction to the serial path, whose holder then hangs. The only
+     way out is the zero-commit-throughput watchdog. *)
+  with_plan (plan_of "livelock") ~seed:1 (fun _ ->
+      let tweak c = { c with Tm.watchdog_window = 300_000 } in
+      let sys =
+        Tm.create (tweak (Tm.default_config (Tm.Asf_mode Variant.llb256) ~n_cores:2))
+      in
+      let counter = Tm.setup_alloc sys 1 in
+      for core = 0 to 1 do
+        ignore
+          (Tm.spawn sys ~core (fun ctx ->
+               for _ = 1 to 10 do
+                 Tm.atomic ctx (fun () ->
+                     Tm.store ctx counter (Tm.load ctx counter + 1))
+               done))
+      done;
+      match Tm.run sys with
+      | () -> Alcotest.fail "livelock plan completed; watchdog never fired"
+      | exception Tm.Livelock d ->
+          Alcotest.(check int) "zero commits" 0 d.Tm.diag_commits;
+          Alcotest.(check bool) "window respected" true
+            (d.Tm.diag_cycle - d.Tm.diag_last_commit_cycle > d.Tm.diag_window);
+          Alcotest.(check bool) "serial holder identified" true
+            (d.Tm.diag_serial_holder <> None);
+          Alcotest.(check int) "all contexts reported" 2
+            (List.length d.Tm.diag_cores);
+          Alcotest.(check bool) "consecutive aborts recorded" true
+            (List.exists (fun r -> r.Tm.rep_consec_aborts > 0) d.Tm.diag_cores))
+
+let test_watchdog_quiet_on_healthy_runs () =
+  (* A healthy run must never trip the watchdog even with a small window
+     (commits continually advance [last_commit_cycle]), and at the default
+     abort limit ordinary contention never escalates to forced serial. *)
+  let tweak c = { c with Tm.watchdog_window = 100_000 } in
+  let sys, agg, value = run_workload ~tweak () in
+  Alcotest.(check int) "correct" 480 value;
+  Alcotest.(check int) "all committed" 480 (Stats.commits agg);
+  Alcotest.(check int) "no forced serial" 0 (Tm.forced_serial_count sys)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "plans",
+        [
+          Alcotest.test_case "parsing" `Quick test_plan_parsing;
+          Alcotest.test_case "merge is field-wise max" `Quick
+            test_plan_merge_is_fieldwise_max;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed reproduces" `Quick test_same_seed_reproduces;
+          Alcotest.test_case "different seed differs" `Quick test_different_seed_differs;
+          Alcotest.test_case "zero-rate identity" `Quick test_zero_rate_plan_is_identity;
+        ] );
+      ( "correctness",
+        [
+          Alcotest.test_case "all plans" `Quick test_plans_preserve_correctness;
+          Alcotest.test_case "spurious retried" `Quick test_spurious_aborts_are_retried;
+          Alcotest.test_case "pagefaults injected" `Quick
+            test_pagefaults_plan_injects_faults;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "forced serial" `Quick test_forced_serial_escalation;
+          Alcotest.test_case "livelock diagnosis" `Quick test_livelock_watchdog_fires;
+          Alcotest.test_case "quiet when healthy" `Quick
+            test_watchdog_quiet_on_healthy_runs;
+        ] );
+    ]

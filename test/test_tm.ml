@@ -225,6 +225,54 @@ let test_interrupt_aborts_long_txn () =
   Alcotest.(check bool) "interrupt aborts recorded" true
     ((Stats.aborts st).(Abort.index Abort.Interrupt) >= 1)
 
+let test_interrupt_retry_commits_hardware () =
+  (* An interrupt abort is transient: the retry must succeed in hardware
+     (no serial fallback). With regions much shorter than the quantum
+     tiling the timeline back to back, some region must straddle a
+     boundary — and its retry, starting just past that boundary, fits
+     inside the fresh quantum. *)
+  let tweak c =
+    { c with Tm.params = { c.Tm.params with Params.interrupt_quantum = 5000 } }
+  in
+  let sys = mk ~n_cores:1 ~tweak (Tm.Asf_mode Variant.llb256) in
+  let a = Tm.setup_alloc sys 1 in
+  let txns = 20 in
+  let ctx =
+    Tm.spawn sys ~core:0 (fun ctx ->
+        for _ = 1 to txns do
+          Tm.atomic ctx (fun () ->
+              Tm.work ctx 1200;
+              Tm.store ctx a (Tm.load ctx a + 1))
+        done)
+  in
+  Tm.run sys;
+  Alcotest.(check int) "all committed" txns (Tm.setup_peek sys a);
+  let st = Tm.stats ctx in
+  Alcotest.(check bool) "interrupt abort recorded" true
+    ((Stats.aborts st).(Abort.index Abort.Interrupt) >= 1);
+  Alcotest.(check int) "retried in hardware, not serial" 0 (Stats.serial_commits st);
+  Alcotest.(check int) "every txn committed exactly once" txns (Stats.commits st)
+
+let test_syscall_goes_serial () =
+  (* [irrevocable] aborts the hardware attempt with [Syscall]; the policy
+     restarts it directly on the serial path (never a hardware retry). *)
+  let sys = mk ~n_cores:1 (Tm.Asf_mode Variant.llb256) in
+  let a = Tm.setup_alloc sys 1 in
+  let ctx =
+    Tm.spawn sys ~core:0 (fun ctx ->
+        Tm.atomic ctx (fun () ->
+            Tm.store ctx a (Tm.load ctx a + 1);
+            Tm.irrevocable ctx;
+            Alcotest.(check bool) "now serial" true (Tm.serial_mode ctx)))
+  in
+  Tm.run sys;
+  Alcotest.(check int) "committed" 1 (Tm.setup_peek sys a);
+  let st = Tm.stats ctx in
+  Alcotest.(check int) "one syscall abort" 1
+    (Stats.aborts st).(Abort.index Abort.Syscall);
+  Alcotest.(check int) "one serial commit" 1 (Stats.serial_commits st);
+  Alcotest.(check int) "exactly two attempts" 2 (Stats.attempts st)
+
 (* ------------------------------------------------------------------ *)
 (* Selective annotation                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -362,6 +410,72 @@ let test_backoff_window_monotone_and_capped () =
   Alcotest.(check int) "doubles" 128 (Tm.backoff_window 1);
   Alcotest.(check int) "saturates at 65536" 65536 (Tm.backoff_window 10);
   Alcotest.(check int) "stays saturated" 65536 (Tm.backoff_window 1000)
+
+let test_serial_spin_window_monotone_and_capped () =
+  let prev = ref 0 in
+  for k = 0 to 20 do
+    let w = Tm.serial_spin_window k in
+    Alcotest.(check bool)
+      (Printf.sprintf "monotone at attempt %d" k)
+      true (w >= !prev);
+    Alcotest.(check bool) (Printf.sprintf "capped at attempt %d" k) true (w <= 8192);
+    prev := w
+  done;
+  Alcotest.(check int) "starts at 64" 64 (Tm.serial_spin_window 0);
+  Alcotest.(check int) "doubles" 128 (Tm.serial_spin_window 1);
+  Alcotest.(check int) "saturates at 8192" 8192 (Tm.serial_spin_window 7);
+  Alcotest.(check int) "stays saturated" 8192 (Tm.serial_spin_window 1000)
+
+let test_serial_lock_fairness () =
+  (* Bounded wait: four cores run serial-only transactions (40 lines never
+     fit LLB-8) that contend for the global lock back-to-back. The capped
+     spin window must let every waiter through — each core commits its
+     full quota serially; nobody starves. *)
+  let n_cores = 4 and per_core = 10 in
+  let sys = mk ~n_cores (Tm.Asf_mode Variant.llb8) in
+  let arr = Tm.setup_alloc sys (40 * Addr.words_per_line) in
+  let ctxs =
+    List.init n_cores (fun core ->
+        Tm.spawn sys ~core (fun ctx ->
+            for _ = 1 to per_core do
+              Tm.atomic ctx (fun () ->
+                  for i = 0 to 39 do
+                    let a = arr + (i * Addr.words_per_line) in
+                    Tm.store ctx a (Tm.load ctx a + 1)
+                  done)
+            done))
+  in
+  Tm.run sys;
+  Alcotest.(check int) "all increments applied" (n_cores * per_core)
+    (Tm.setup_peek sys arr);
+  List.iteri
+    (fun core ctx ->
+      Alcotest.(check int)
+        (Printf.sprintf "core %d committed its quota serially" core)
+        per_core
+        (Stats.serial_commits (Tm.stats ctx)))
+    ctxs
+
+(* Decorrelation: two cores aborting at the same cycle must draw different
+   backoff windows. Core PRNG streams are split off one root generator,
+   so for any seed, distinct cores' first few window draws cannot all
+   collide (an arithmetic seed derivation failed exactly this way for
+   window-aligned seeds). *)
+let prop_backoff_streams_decorrelated =
+  QCheck.Test.make ~name:"tm: per-core backoff draws are decorrelated" ~count:100
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 0 100_000) (int_range 0 7) (int_range 0 7)))
+    (fun (seed, i, j) ->
+      QCheck.assume (i <> j);
+      let sys =
+        mk ~n_cores:8 ~tweak:(fun c -> { c with Tm.seed }) (Tm.Asf_mode Variant.llb256)
+      in
+      let pi = Tm.prng (Tm.make_ctx sys ~core:i)
+      and pj = Tm.prng (Tm.make_ctx sys ~core:j) in
+      let draws p =
+        List.init 16 (fun r -> Asf_engine.Prng.int p (Tm.backoff_window r))
+      in
+      draws pi <> draws pj)
 
 let test_stm_mode_has_no_serial () =
   let total, ctxs = counter_run Tm.Stm_mode 4 50 in
@@ -507,7 +621,13 @@ let () =
           Alcotest.test_case "free deferred" `Quick test_free_deferred_to_commit;
         ] );
       ( "interrupts",
-        [ Alcotest.test_case "long txn aborted" `Quick test_interrupt_aborts_long_txn ] );
+        [
+          Alcotest.test_case "long txn aborted" `Quick test_interrupt_aborts_long_txn;
+          Alcotest.test_case "short txn retries in hw" `Quick
+            test_interrupt_retry_commits_hardware;
+        ] );
+      ( "syscall",
+        [ Alcotest.test_case "irrevocable goes serial" `Quick test_syscall_goes_serial ] );
       ( "annotation",
         [ Alcotest.test_case "capacity relief" `Quick test_annotation_avoids_capacity ] );
       ( "accounting",
@@ -521,6 +641,13 @@ let () =
         [
           Alcotest.test_case "window monotone, capped" `Quick
             test_backoff_window_monotone_and_capped;
+          QCheck_alcotest.to_alcotest prop_backoff_streams_decorrelated;
+        ] );
+      ( "serial lock",
+        [
+          Alcotest.test_case "spin window monotone, capped" `Quick
+            test_serial_spin_window_monotone_and_capped;
+          Alcotest.test_case "bounded wait / fairness" `Quick test_serial_lock_fairness;
         ] );
       ( "txmalloc",
         [
