@@ -1,46 +1,246 @@
 (* The full benchmark harness.
 
-   Part 1 regenerates every table and figure of the paper's evaluation at
-   full (simulator-scale) configuration, prints the tables, and writes
-   results/<id>.csv.
+   Part 1 regenerates every table and figure of the paper's evaluation,
+   each twice — sequentially ([--jobs 1]) and on the domain pool — with
+   the memoisation cache cleared before every timed run so both
+   measurements do the same cold-cache work. It prints the tables, writes
+   results/<id>.csv (write failures are fatal), verifies that the
+   parallel reports are identical to the sequential ones, and emits
+   BENCH_asf.json with per-experiment host seconds and simulated
+   cycles/second for both paths.
 
    Part 2 is the Bechamel suite: one [Test.make] per table/figure, each
    timing the host-side cost of regenerating that artifact (at the quick
    configuration, with the memoisation cache cleared per run so every
-   sample does real work). *)
+   sample does real work). Skipped with --skip-bechamel.
+
+     main.exe [--quick] [--seed N] [--jobs N] [--out FILE]
+              [--csv DIR] [--skip-bechamel] *)
 
 module Experiments = Asf_harness.Experiments
 module Report = Asf_harness.Report
+module Parallel = Asf_parallel.Parallel
 open Bechamel
 open Toolkit
 
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let quick = ref false
+
+let seed = ref 1
+
+let jobs = ref 0 (* 0 = auto *)
+
+let out_file = ref "BENCH_asf.json"
+
+let csv_dir = ref "results"
+
+let skip_bechamel = ref false
+
+let () =
+  Arg.parse
+    [
+      ("--quick", Arg.Set quick, " Scaled-down experiment configurations");
+      ("--seed", Arg.Set_int seed, "N Deterministic seed (default 1)");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N Domains for the parallel pass (default: recommended count)" );
+      ( "--out",
+        Arg.Set_string out_file,
+        "FILE Benchmark JSON output (default BENCH_asf.json)" );
+      ("--csv", Arg.Set_string csv_dir, "DIR CSV output directory (default results)");
+      ("--skip-bechamel", Arg.Set skip_bechamel, " Skip the Bechamel suite");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "main.exe [--quick] [--seed N] [--jobs N] [--out FILE] [--csv DIR] \
+     [--skip-bechamel]"
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate + time                                            *)
+(* ------------------------------------------------------------------ *)
+
+type timing = {
+  id : string;
+  seq_seconds : float;
+  par_seconds : float;
+  sim_cycles : int;
+  deterministic : bool;
+}
+
+(* One timed cold-cache regeneration at the given pool width. *)
+let timed_run e ~jobs =
+  Experiments.clear_cache ();
+  Parallel.set_jobs jobs;
+  Parallel.reset_sim_cycles ();
+  let t0 = Unix.gettimeofday () in
+  let reports = e.Experiments.run ~quick:!quick ~seed:!seed in
+  let dt = Unix.gettimeofday () -. t0 in
+  (reports, dt, Parallel.sim_cycles ())
+
 let part1 () =
   print_endline "=============================================================";
-  print_endline " Part 1: full-scale reproduction of every table and figure";
+  print_endline " Part 1: reproduction of every table and figure, timed";
   print_endline "=============================================================";
-  let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun e ->
-      let t = Unix.gettimeofday () in
-      let reports = e.Experiments.run ~quick:false ~seed:1 in
-      List.iter
-        (fun r ->
-          Report.print r;
-          ignore (Report.save_csv ~dir:"results" r))
-        reports;
-      Printf.printf "[%s regenerated in %.1fs host time; csv in results/]\n%!"
-        e.Experiments.id
-        (Unix.gettimeofday () -. t))
-    Experiments.all;
-  Printf.printf "\nAll artifacts regenerated in %.1fs host time.\n%!"
-    (Unix.gettimeofday () -. t0)
+  let par_jobs =
+    if !jobs > 0 then !jobs else Parallel.available ()
+  in
+  Printf.printf "quick=%b seed=%d jobs=%d (host recommends %d)\n%!" !quick !seed
+    par_jobs
+    (Parallel.available ());
+  let failures = ref [] in
+  let timings =
+    List.map
+      (fun e ->
+        let id = e.Experiments.id in
+        let seq_reports, seq_seconds, seq_cycles = timed_run e ~jobs:1 in
+        let par_reports, par_seconds, par_cycles = timed_run e ~jobs:par_jobs in
+        let deterministic =
+          seq_reports = par_reports && seq_cycles = par_cycles
+        in
+        if not deterministic then
+          failures :=
+            Printf.sprintf "%s: parallel output differs from sequential" id
+            :: !failures;
+        List.iter
+          (fun r ->
+            Report.print r;
+            match Report.save_csv ~dir:!csv_dir r with
+            | path -> Printf.printf "csv: %s\n" path
+            | exception Sys_error m ->
+                failures := Printf.sprintf "%s: csv write failed: %s" id m :: !failures;
+                Printf.eprintf "ERROR: cannot write %s/%s.csv: %s\n%!" !csv_dir
+                  r.Report.id m)
+          par_reports;
+        Printf.printf
+          "[%s seq %.1fs, jobs=%d %.1fs (x%.2f), %d sim cycles, %s]\n%!" id
+          seq_seconds par_jobs par_seconds
+          (seq_seconds /. Float.max 1e-9 par_seconds)
+          seq_cycles
+          (if deterministic then "bit-identical" else "MISMATCH");
+        { id; seq_seconds; par_seconds; sim_cycles = seq_cycles; deterministic })
+      Experiments.all
+  in
+  (timings, par_jobs, !failures)
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_asf.json                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_timings timings ~par_jobs =
+  let buf = Buffer.create 4096 in
+  let total f = List.fold_left (fun acc t -> acc +. f t) 0.0 timings in
+  let seq_total = total (fun t -> t.seq_seconds) in
+  let par_total = total (fun t -> t.par_seconds) in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"asf-bench/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" !quick);
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" !seed);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" par_jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domains\": %d,\n" (Parallel.available ()));
+  Buffer.add_string buf "  \"experiments\": [\n";
+  List.iteri
+    (fun i t ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"id\": %S, \"seq_seconds\": %.3f, \"par_seconds\": %.3f, \
+            \"speedup\": %.3f, \"sim_cycles\": %d, \"seq_cycles_per_sec\": \
+            %.0f, \"par_cycles_per_sec\": %.0f, \"deterministic\": %b}%s\n"
+           t.id t.seq_seconds t.par_seconds
+           (t.seq_seconds /. Float.max 1e-9 t.par_seconds)
+           t.sim_cycles
+           (float_of_int t.sim_cycles /. Float.max 1e-9 t.seq_seconds)
+           (float_of_int t.sim_cycles /. Float.max 1e-9 t.par_seconds)
+           t.deterministic
+           (if i = List.length timings - 1 then "" else ",")))
+    timings;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"totals\": {\"seq_seconds\": %.3f, \"par_seconds\": %.3f, \
+        \"speedup\": %.3f}\n"
+       seq_total par_total
+       (seq_total /. Float.max 1e-9 par_total));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Minimal well-formedness check of the emitted JSON: brackets and braces
+   balance outside strings, strings terminate, and the required keys are
+   present — enough to catch an interrupted or garbled write without a
+   JSON library. *)
+let validate_json s =
+  let n = String.length s in
+  let rec scan i depth in_str =
+    if i >= n then if depth = 0 && not in_str then Ok () else Error "unbalanced"
+    else
+      let c = s.[i] in
+      if in_str then
+        if c = '\\' then scan (i + 2) depth true
+        else scan (i + 1) depth (c <> '"')
+      else
+        match c with
+        | '"' -> scan (i + 1) depth true
+        | '{' | '[' -> scan (i + 1) (depth + 1) false
+        | '}' | ']' ->
+            if depth = 0 then Error "unbalanced" else scan (i + 1) (depth - 1) false
+        | _ -> scan (i + 1) depth false
+  in
+  match scan 0 0 false with
+  | Error m -> Error m
+  | Ok () ->
+      let has key =
+        let key = "\"" ^ key ^ "\"" in
+        let k = String.length key in
+        let rec at i =
+          i + k <= n && (String.sub s i k = key || at (i + 1))
+        in
+        at 0
+      in
+      let missing =
+        List.filter
+          (fun k -> not (has k))
+          [ "schema"; "experiments"; "totals"; "seq_seconds"; "par_seconds" ]
+      in
+      if missing = [] then Ok ()
+      else Error ("missing keys: " ^ String.concat ", " missing)
+
+let write_bench_json timings ~par_jobs =
+  let json = json_of_timings timings ~par_jobs in
+  match
+    let oc = open_out !out_file in
+    output_string oc json;
+    close_out oc
+  with
+  | exception Sys_error m ->
+      Printf.eprintf "ERROR: cannot write %s: %s\n%!" !out_file m;
+      [ Printf.sprintf "benchmark json write failed: %s" m ]
+  | () -> (
+      (* Re-read and validate what actually landed on disk. *)
+      let ic = open_in_bin !out_file in
+      let len = in_channel_length ic in
+      let written = really_input_string ic len in
+      close_in ic;
+      match validate_json written with
+      | Ok () ->
+          Printf.printf "benchmark json: %s (%d bytes, validated)\n%!" !out_file
+            len;
+          []
+      | Error m ->
+          Printf.eprintf "ERROR: %s failed validation: %s\n%!" !out_file m;
+          [ Printf.sprintf "benchmark json invalid: %s" m ])
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel                                                     *)
+(* ------------------------------------------------------------------ *)
 
 let bechamel_tests =
   let test_of e =
     Test.make ~name:e.Experiments.id
       (Staged.stage (fun () ->
            Experiments.clear_cache ();
-           ignore (e.Experiments.run ~quick:true ~seed:1)))
+           ignore (e.Experiments.run ~quick:true ~seed:!seed)))
   in
   Test.make_grouped ~name:"regen" (List.map test_of Experiments.all)
 
@@ -71,6 +271,12 @@ let part2 () =
     rows
 
 let () =
-  part1 ();
-  part2 ();
+  let timings, par_jobs, failures = part1 () in
+  let failures = failures @ write_bench_json timings ~par_jobs in
+  if not !skip_bechamel then part2 ();
+  if failures <> [] then begin
+    Printf.eprintf "\nbench: FAILED\n";
+    List.iter (fun m -> Printf.eprintf "  - %s\n" m) (List.rev failures);
+    exit 1
+  end;
   print_endline "\nbench: done"

@@ -20,6 +20,7 @@ module C = Asf_stamp.Stamp_common
 module Trace = Asf_trace.Trace
 module Check = Asf_check.Check
 module Faults = Asf_faults.Faults
+module Parallel = Asf_parallel.Parallel
 
 (* ------------------------------------------------------------------ *)
 (* Shared mode parsing                                                  *)
@@ -194,7 +195,11 @@ let run_one ~quick ~seed ~csv id =
       Printf.printf "[%s done in %.1fs host time]\n%!" id (Unix.gettimeofday () -. t0);
       0
 
-let repro ids all quick seed csv do_list trace tfilter check faults fseed =
+let repro ids all quick seed csv do_list trace tfilter check faults fseed jobs =
+  (* 0 = auto: one worker per recommended domain; the pool clamps to the
+     number of cells of each fan-out anyway. The report is bit-identical
+     for every value (see DESIGN.md, "The determinism contract"). *)
+  Parallel.set_jobs (if jobs <= 0 then Parallel.available () else jobs);
   if do_list then list_experiments ()
   else
     let ids = if all then Experiments.ids () else ids in
@@ -353,6 +358,16 @@ let faults_seed_arg =
              "Seed of the fault-injection draws (independent of $(b,--seed), so \
               the same workload can be perturbed differently).")
 
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:
+             "Run each experiment's independent simulator cells on $(docv) \
+              domains (default: the host's recommended domain count; clamped \
+              to the number of cells). Output is bit-identical for every \
+              $(docv); $(b,--jobs 1) is the fully sequential path, and \
+              $(b,--trace) forces it.")
+
 let repro_cmd =
   let ids =
     Arg.(value & opt_all string []
@@ -369,7 +384,7 @@ let repro_cmd =
     (Cmd.info "repro" ~doc:"Reproduce the paper's tables and figures")
     Term.(
       const repro $ ids $ all $ quick $ seed_arg $ csv $ list $ trace_arg
-      $ trace_filter_arg $ check_arg $ faults_arg $ faults_seed_arg)
+      $ trace_filter_arg $ check_arg $ faults_arg $ faults_seed_arg $ jobs_arg)
 
 let intset_cmd =
   let structure =
@@ -414,15 +429,16 @@ let main_cmd =
   Cmd.group
     ~default:
       Term.(
-        const (fun ids all quick seed csv list trace tfilter check faults fseed ->
-            repro ids all quick seed csv list trace tfilter check faults fseed)
+        const (fun ids all quick seed csv list trace tfilter check faults fseed jobs ->
+            repro ids all quick seed csv list trace tfilter check faults fseed jobs)
         $ Arg.(value & opt_all string [] & info [ "e"; "experiment" ] ~docv:"ID")
         $ Arg.(value & flag & info [ "all" ])
         $ Arg.(value & flag & info [ "quick" ])
         $ seed_arg
         $ Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR")
         $ Arg.(value & flag & info [ "list" ])
-        $ trace_arg $ trace_filter_arg $ check_arg $ faults_arg $ faults_seed_arg)
+        $ trace_arg $ trace_filter_arg $ check_arg $ faults_arg $ faults_seed_arg
+        $ jobs_arg)
     (Cmd.info "asf_bench" ~doc)
     [ repro_cmd; intset_cmd; stamp_cmd ]
 

@@ -32,49 +32,62 @@ let assoc t = t.assoc
 
 let set_of t key = key land (t.n_sets - 1)
 
-let find_way t key =
+(* Index of the way holding [key], or -1. The allocation-free primitive
+   the per-access hot path uses; [find_way]/[mem]/[touch] are wrappers. *)
+let find_way_idx t key =
   let base = set_of t key * t.assoc in
   let rec go w =
-    if w = t.assoc then None
-    else if t.tags.(base + w) = key then Some (base + w)
+    if w = t.assoc then -1
+    else if t.tags.(base + w) = key then base + w
     else go (w + 1)
   in
   go 0
 
-let mem t key = find_way t key <> None
+let mem t key = find_way_idx t key >= 0
+
+(* Access without boxing the outcome: on a hit just refreshes LRU; on a
+   miss fills the entry. Returns the evicted tag, or -1 when nothing was
+   pushed out (hit, or the set still had an invalid way). *)
+let touch_evict t key =
+  t.clock <- t.clock + 1;
+  let i = find_way_idx t key in
+  if i >= 0 then begin
+    t.stamps.(i) <- t.clock;
+    -1
+  end
+  else begin
+    let base = set_of t key * t.assoc in
+    (* Pick an invalid way, else the LRU way. *)
+    let victim = ref base in
+    let found_invalid = ref false in
+    for w = 0 to t.assoc - 1 do
+      let i = base + w in
+      if not !found_invalid then
+        if t.tags.(i) = -1 then begin
+          victim := i;
+          found_invalid := true
+        end
+        else if t.stamps.(i) < t.stamps.(!victim) then victim := i
+    done;
+    let evicted = if !found_invalid then -1 else t.tags.(!victim) in
+    t.tags.(!victim) <- key;
+    t.stamps.(!victim) <- t.clock;
+    evicted
+  end
 
 let touch t key =
-  t.clock <- t.clock + 1;
-  match find_way t key with
-  | Some i ->
-      t.stamps.(i) <- t.clock;
-      (true, None)
-  | None ->
-      let base = set_of t key * t.assoc in
-      (* Pick an invalid way, else the LRU way. *)
-      let victim = ref base in
-      let found_invalid = ref false in
-      for w = 0 to t.assoc - 1 do
-        let i = base + w in
-        if not !found_invalid then
-          if t.tags.(i) = -1 then begin
-            victim := i;
-            found_invalid := true
-          end
-          else if t.stamps.(i) < t.stamps.(!victim) then victim := i
-      done;
-      let evicted = if !found_invalid then None else Some t.tags.(!victim) in
-      t.tags.(!victim) <- key;
-      t.stamps.(!victim) <- t.clock;
-      (false, evicted)
+  let hit = find_way_idx t key >= 0 in
+  let evicted = touch_evict t key in
+  (hit, if evicted = -1 then None else Some evicted)
 
 let invalidate t key =
-  match find_way t key with
-  | Some i ->
-      t.tags.(i) <- -1;
-      t.stamps.(i) <- 0;
-      true
-  | None -> false
+  let i = find_way_idx t key in
+  if i >= 0 then begin
+    t.tags.(i) <- -1;
+    t.stamps.(i) <- 0;
+    true
+  end
+  else false
 
 let iter t f =
   Array.iter (fun tag -> if tag <> -1 then f tag) t.tags

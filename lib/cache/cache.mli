@@ -19,10 +19,20 @@ val assoc : t -> int
 val mem : t -> int -> bool
 (** Presence test without touching LRU state. *)
 
+val find_way_idx : t -> int -> int
+(** Index of the way holding the key, or [-1] — the allocation-free form
+    of a presence/lookup test for per-access hot paths. Does not touch
+    LRU state. *)
+
 val touch : t -> int -> bool * int option
 (** [touch t key] performs an access: on hit, updates LRU and returns
     [(true, None)]; on miss, fills the entry, returning [(false, evicted)]
     where [evicted] is the victim line pushed out, if the set was full. *)
+
+val touch_evict : t -> int -> int
+(** Allocation-free {!touch}: performs the access and returns the evicted
+    tag, or [-1] when nothing was pushed out (a hit, or a fill into an
+    invalid way). Behaviour and LRU effects are identical to {!touch}. *)
 
 val invalidate : t -> int -> bool
 (** Removes an entry; returns whether it was present. *)

@@ -2,11 +2,6 @@ module Params = Asf_machine.Params
 
 type level_stats = { mutable hits : int; mutable misses : int }
 
-type dir_entry = {
-  mutable owners : int;  (* bitmask of cores holding a copy *)
-  mutable dirty : int;  (* core owning an exclusive dirty copy, or -1 *)
-}
-
 type t = {
   params : Params.t;
   n_cores : int;
@@ -14,7 +9,14 @@ type t = {
   l2 : Cache.t array;
   (* One L3 per socket. *)
   l3 : Cache.t array;
-  dir : (int, dir_entry) Hashtbl.t;
+  (* Coherence directory, indexed directly by line number: a bitmask of
+     cores holding a copy, and the core owning an exclusive dirty copy
+     ([-1] = none). Flat arrays grown by doubling — line numbers are
+     small and dense (word address / line words), so direct indexing
+     replaces the previous hashtable without any per-access lookup
+     allocation. *)
+  mutable dir_owners : int array;
+  mutable dir_dirty : int array;
   evict_hooks : (int -> unit) array;
   l1s : level_stats array;
   l2s : level_stats array;
@@ -43,7 +45,8 @@ let create (params : Params.t) ~n_cores =
       Array.init params.n_sockets (fun _ ->
           Cache.create_bytes ~size_bytes:params.l3_bytes ~assoc:params.l3_assoc
             ~line_bytes:params.line_bytes);
-    dir = Hashtbl.create (1 lsl 16);
+    dir_owners = Array.make (1 lsl 16) 0;
+    dir_dirty = Array.make (1 lsl 16) (-1);
     evict_hooks = Array.make n_cores (fun _ -> ());
     l1s = Array.init n_cores (fun _ -> fresh_stats ());
     l2s = Array.init n_cores (fun _ -> fresh_stats ());
@@ -54,13 +57,20 @@ let create (params : Params.t) ~n_cores =
 
 let set_evict_hook t ~core f = t.evict_hooks.(core) <- f
 
-let dir_entry t line =
-  match Hashtbl.find_opt t.dir line with
-  | Some e -> e
-  | None ->
-      let e = { owners = 0; dirty = -1 } in
-      Hashtbl.add t.dir line e;
-      e
+(* Grow the directory to cover [line] (fresh slots: no owners, clean). *)
+let ensure_dir t line =
+  let n = Array.length t.dir_owners in
+  if line >= n then begin
+    let n' = ref n in
+    while line >= !n' do
+      n' := !n' * 2
+    done;
+    let owners = Array.make !n' 0 and dirty = Array.make !n' (-1) in
+    Array.blit t.dir_owners 0 owners 0 n;
+    Array.blit t.dir_dirty 0 dirty 0 n;
+    t.dir_owners <- owners;
+    t.dir_dirty <- dirty
+  end
 
 let drop_from_core t ~core line =
   if Cache.invalidate t.l1.(core) line then t.evict_hooks.(core) line;
@@ -72,7 +82,8 @@ let socket_of t core = core * t.params.Params.n_sockets / t.n_cores
 
 let access t ~core ~line ~write =
   let p = t.params in
-  let entry = dir_entry t line in
+  ensure_dir t line;
+  let dirty0 = t.dir_dirty.(line) in
   (* Latency from the nearest level that holds the line. A miss that must
      be served by a remote dirty copy costs a cache-to-cache forward at
      L3-like latency plus the probe. *)
@@ -80,7 +91,7 @@ let access t ~core ~line ~write =
   let in_l1 = Cache.mem t.l1.(core) line in
   let in_l2 = Cache.mem t.l2.(core) line in
   let in_l3 = Cache.mem t.l3.(socket) line in
-  let remote_dirty = entry.dirty <> -1 && entry.dirty <> core in
+  let remote_dirty = dirty0 <> -1 && dirty0 <> core in
   (* Probes and forwards that cross a socket boundary pay the
      interconnect hop. *)
   let cross_penalty other_core =
@@ -118,7 +129,7 @@ let access t ~core ~line ~write =
   let extra = ref 0 in
   let my_bit = 1 lsl core in
   if write then begin
-    let others = entry.owners land lnot my_bit in
+    let others = t.dir_owners.(line) land lnot my_bit in
     if others <> 0 || remote_dirty then begin
       extra := !extra + p.coherence_probe_latency;
       t.invalidations <- t.invalidations + 1;
@@ -134,22 +145,22 @@ let access t ~core ~line ~write =
         extra := !extra + p.cross_socket_latency
       end
     end;
-    entry.owners <- my_bit;
-    entry.dirty <- core
+    t.dir_owners.(line) <- my_bit;
+    t.dir_dirty.(line) <- core
   end
   else begin
     if remote_dirty then begin
-      extra := !extra + p.coherence_probe_latency + cross_penalty entry.dirty;
-      entry.dirty <- -1 (* downgrade to shared; memory is already current *)
+      extra := !extra + p.coherence_probe_latency + cross_penalty dirty0;
+      t.dir_dirty.(line) <- -1
+      (* downgrade to shared; memory is already current *)
     end;
-    entry.owners <- entry.owners lor my_bit
+    t.dir_owners.(line) <- t.dir_owners.(line) lor my_bit
   end;
   (* Fill this core's caches and the shared L3. *)
-  (match Cache.touch t.l1.(core) line with
-  | _, Some victim -> t.evict_hooks.(core) victim
-  | _, None -> ());
-  ignore (Cache.touch t.l2.(core) line);
-  ignore (Cache.touch t.l3.(socket) line);
+  (let victim = Cache.touch_evict t.l1.(core) line in
+   if victim <> -1 then t.evict_hooks.(core) victim);
+  ignore (Cache.touch_evict t.l2.(core) line);
+  ignore (Cache.touch_evict t.l3.(socket) line);
   base_latency + !extra
 
 let l1_stats t ~core = t.l1s.(core)

@@ -94,12 +94,16 @@ let rec translate t ~core ~speculative addr =
       service_fault t ~page;
       translate t ~core ~speculative addr
 
-(* The data transfer ([apply]) must take effect at the access's commit
+(* Every access runs [access_pre], its own data transfer inline, then
+   [access_post] — the transfer must take effect at the access's commit
    point: after the coherence probe (so conflicting regions roll back
    first and requester-wins ordering holds) but before the cache fill —
    a fill can displace a hybrid-tracked line and doom the *requester's
-   own* region, whose rollback must cover this very store. *)
-let timed_access t ~core ~speculative ~write ~apply addr =
+   own* region, whose rollback must cover this very store. The split
+   keeps the sequence closure-free: each caller inlines its transfer
+   between the two halves instead of boxing it into an [apply] thunk,
+   and both halves return/take plain ints. *)
+let access_pre t ~core ~speculative ~write addr =
   (* Fault injection, drawn per access before translation. [page_unmap]
      models the OS paging the target out (page-table removal + shootdown):
      translation then takes the real minor-fault path — aborting an
@@ -122,48 +126,54 @@ let timed_access t ~core ~speculative ~write ~apply addr =
     end
   end;
   let extra = translate t ~core ~speculative addr in
-  let line = Addr.line_of addr in
-  t.probe_hook ~requester:core ~line ~write;
+  t.probe_hook ~requester:core ~line:(Addr.line_of addr) ~write;
   (* Observers (the checking layer) see the access after conflict
      resolution but before the data transfer, so they can snapshot the
      pre-access memory image; they must not elapse simulated time. *)
   (match t.access_hook with
   | Some h -> h ~core ~addr ~write ~speculative
   | None -> ());
-  let result = apply () in
-  let lat = Hierarchy.access t.hier ~core ~line ~write in
-  Engine.elapse (scale t (lat + extra));
-  result
+  extra
+
+let access_post t ~core ~write ~extra addr =
+  let lat = Hierarchy.access t.hier ~core ~line:(Addr.line_of addr) ~write in
+  Engine.elapse (scale t (lat + extra))
 
 let load t ~core ?(speculative = false) addr =
   t.loads <- t.loads + 1;
-  timed_access t ~core ~speculative ~write:false addr ~apply:(fun () ->
-      Ram.read t.ram addr)
+  let extra = access_pre t ~core ~speculative ~write:false addr in
+  let v = Ram.read t.ram addr in
+  access_post t ~core ~write:false ~extra addr;
+  v
 
 let store t ~core ?(speculative = false) addr v =
   t.stores <- t.stores + 1;
-  timed_access t ~core ~speculative ~write:true addr ~apply:(fun () ->
-      Ram.write t.ram addr v)
+  let extra = access_pre t ~core ~speculative ~write:true addr in
+  Ram.write t.ram addr v;
+  access_post t ~core ~write:true ~extra addr
 
 let cas t ~core addr ~expect ~value =
   t.loads <- t.loads + 1;
   t.stores <- t.stores + 1;
-  timed_access t ~core ~speculative:false ~write:true addr ~apply:(fun () ->
-      let cur = Ram.read t.ram addr in
-      let ok = cur = expect in
-      if ok then Ram.write t.ram addr value;
-      ok)
+  let extra = access_pre t ~core ~speculative:false ~write:true addr in
+  let cur = Ram.read t.ram addr in
+  let ok = cur = expect in
+  if ok then Ram.write t.ram addr value;
+  access_post t ~core ~write:true ~extra addr;
+  ok
 
 let faa t ~core addr delta =
   t.loads <- t.loads + 1;
   t.stores <- t.stores + 1;
-  timed_access t ~core ~speculative:false ~write:true addr ~apply:(fun () ->
-      let cur = Ram.read t.ram addr in
-      Ram.write t.ram addr (cur + delta);
-      cur)
+  let extra = access_pre t ~core ~speculative:false ~write:true addr in
+  let cur = Ram.read t.ram addr in
+  Ram.write t.ram addr (cur + delta);
+  access_post t ~core ~write:true ~extra addr;
+  cur
 
 let touch_line t ~core ?(speculative = true) ~write addr =
-  timed_access t ~core ~speculative ~write addr ~apply:(fun () -> ())
+  let extra = access_pre t ~core ~speculative ~write addr in
+  access_post t ~core ~write ~extra addr
 
 let peek t addr = Ram.read t.ram addr
 

@@ -5,7 +5,12 @@ type t = {
   params : Params.t;
   l1 : Cache.t array;
   l2 : Cache.t array;
-  page_table : (int, unit) Hashtbl.t;
+  (* Shared page table as a presence bitmap indexed by page number, grown
+     by doubling: page numbers are small and dense (word address / page
+     words), so the per-translation mapped test is one byte load instead
+     of a hashtable probe. [mapped] counts the set bits. *)
+  mutable page_table : Bytes.t;
+  mutable mapped : int;
   mutable abort_on_tlb_miss : bool;
 }
 
@@ -22,14 +27,30 @@ let create (params : Params.t) ~n_cores =
           Cache.create
             ~sets:(params.tlb_l2_entries / params.tlb_l2_assoc)
             ~assoc:params.tlb_l2_assoc);
-    page_table = Hashtbl.create 4096;
+    page_table = Bytes.make 4096 '\000';
+    mapped = 0;
     abort_on_tlb_miss = false;
   }
 
-let page_mapped t page = Hashtbl.mem t.page_table page
+let page_mapped t page =
+  page < Bytes.length t.page_table
+  && Bytes.unsafe_get t.page_table page <> '\000'
 
 let map_page t page =
-  if not (page_mapped t page) then Hashtbl.add t.page_table page ()
+  let n = Bytes.length t.page_table in
+  if page >= n then begin
+    let n' = ref n in
+    while page >= !n' do
+      n' := !n' * 2
+    done;
+    let table = Bytes.make !n' '\000' in
+    Bytes.blit t.page_table 0 table 0 n;
+    t.page_table <- table
+  end;
+  if Bytes.unsafe_get t.page_table page = '\000' then begin
+    Bytes.unsafe_set t.page_table page '\001';
+    t.mapped <- t.mapped + 1
+  end
 
 let map_range t addr words =
   let first = Addr.page_of addr and last = Addr.page_of (addr + words - 1) in
@@ -46,19 +67,22 @@ let flush_page t page =
   Array.iter (fun c -> ignore (Cache.invalidate c page)) t.l2
 
 let unmap_page t page =
-  Hashtbl.remove t.page_table page;
+  if page_mapped t page then begin
+    Bytes.unsafe_set t.page_table page '\000';
+    t.mapped <- t.mapped - 1
+  end;
   flush_page t page
 
 let translate t ~core addr ~speculative =
   let page = Addr.page_of addr in
   let l1 = t.l1.(core) and l2 = t.l2.(core) in
   if Cache.mem l1 page then begin
-    ignore (Cache.touch l1 page);
+    ignore (Cache.touch_evict l1 page);
     Translated 0
   end
   else if Cache.mem l2 page then begin
-    ignore (Cache.touch l2 page);
-    ignore (Cache.touch l1 page);
+    ignore (Cache.touch_evict l2 page);
+    ignore (Cache.touch_evict l1 page);
     if t.abort_on_tlb_miss && speculative then
       Tlb_miss_abort t.params.tlb_l2_latency
     else Translated t.params.tlb_l2_latency
@@ -68,10 +92,10 @@ let translate t ~core addr ~speculative =
     if t.abort_on_tlb_miss && speculative then
       Tlb_miss_abort t.params.page_walk_latency
     else begin
-      ignore (Cache.touch l2 page);
-      ignore (Cache.touch l1 page);
+      ignore (Cache.touch_evict l2 page);
+      ignore (Cache.touch_evict l1 page);
       Translated t.params.page_walk_latency
     end
   end
 
-let mapped_pages t = Hashtbl.length t.page_table
+let mapped_pages t = t.mapped

@@ -723,12 +723,46 @@ let attach t ?asf ?stm ?variant mem =
   | Some s -> Stm.set_observer s (Some (fun ~core ev -> on_stm_event t ~core ev))
   | None -> ()
 
+(* {1 Finding export / merge}
+
+   Support for the parallel cell runner: each cell runs under its own
+   fresh checker; [export] finalizes it and returns its findings, and
+   [absorb] merges exported findings into an aggregating checker in cell
+   order. The merge replicates [report]'s dedup-by-(part, kind, line)
+   behaviour — first occurrence (in absorption order) keeps its detail
+   and trail, repeats only add counts — so absorbing per-cell exports in
+   canonical cell order yields the same findings table as one checker
+   observing the same cells sequentially.
+
+   [absorb] keys on the finding's stored (already line-base-rebased)
+   address, so an aggregator must only ever *absorb* (never observe runs
+   directly); the repro driver's top-level checker satisfies this. *)
+
+let export t =
+  finalize t;
+  findings t
+
+let absorb t fs =
+  List.iter
+    (fun f ->
+      let key = (part_name f.part, f.kind, f.line) in
+      match Hashtbl.find_opt t.index key with
+      | Some g -> g.count <- g.count + f.count
+      | None ->
+          let g = { f with count = f.count } in
+          Hashtbl.add t.index key g;
+          t.found <- g :: t.found)
+    fs
+
 (* {1 Global installation} *)
 
-let current : t option ref = ref None
+(* Domain-local, like the tracer and the fault injector: pool worker
+   domains install their own per-cell checkers and export their findings
+   for order-canonical absorption on the main domain. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let install t = current := Some t
+let install t = Domain.DLS.set current (Some t)
 
-let uninstall () = current := None
+let uninstall () = Domain.DLS.set current None
 
-let installed () = !current
+let installed () = Domain.DLS.get current

@@ -129,3 +129,20 @@ val lint_capacity : t -> capacity:int -> finding list
     need provably exceeds [capacity] (an attempt that capacity-aborted
     needed at least one line more than it managed to protect). Pure —
     does not add to {!findings}. *)
+
+(** {1 Finding merging}
+
+    For the parallel cell runner: each cell runs with its own checker, and
+    the findings are folded back into the main checker in cell order, so
+    the merged table is identical to a sequential run's. *)
+
+val export : t -> finding list
+(** {!finalize} then {!findings}: everything this checker found, ready to
+    be {!absorb}ed elsewhere. *)
+
+val absorb : t -> finding list -> unit
+(** Fold exported findings into this checker's table: a finding whose
+    (part, kind, line) key is already present adds its count; a new key is
+    appended in arrival order. An absorbing checker must only aggregate —
+    attaching it to runs as well would mix raw and base line addresses in
+    the dedup keys. *)

@@ -1,10 +1,15 @@
-type entry = { mutable backup : int array option }
+(* Two tables instead of one [(line, {backup option})] map: read-only
+   protected lines in [reads], written lines (with their pre-
+   transactional backup) in [writes]. The hot membership tests the ASF
+   conflict probe runs per coherence event — [mem] and [written] — become
+   plain [Hashtbl.mem] calls, with no option boxing or entry-record
+   allocation on any path; a line lives in exactly one table. *)
 
 type t = {
   capacity : int;
   mutable limit : int option;
-  lines : (int, entry) Hashtbl.t;
-  mutable written_count : int;
+  reads : (int, unit) Hashtbl.t;
+  writes : (int, int array) Hashtbl.t;
 }
 
 let create ~capacity =
@@ -12,8 +17,8 @@ let create ~capacity =
   {
     capacity;
     limit = None;
-    lines = Hashtbl.create (min 1024 (2 * capacity));
-    written_count = 0;
+    reads = Hashtbl.create (min 1024 (2 * capacity));
+    writes = Hashtbl.create (min 1024 (2 * capacity));
   }
 
 let capacity t = t.capacity
@@ -27,53 +32,45 @@ let set_limit t limit =
 let effective_capacity t =
   match t.limit with Some n -> min n t.capacity | None -> t.capacity
 
-let entries t = Hashtbl.length t.lines
+let entries t = Hashtbl.length t.reads + Hashtbl.length t.writes
 
-let mem t line = Hashtbl.mem t.lines line
+let mem t line = Hashtbl.mem t.writes line || Hashtbl.mem t.reads line
 
-let written t line =
-  match Hashtbl.find_opt t.lines line with
-  | Some { backup = Some _ } -> true
-  | _ -> false
+let written t line = Hashtbl.mem t.writes line
 
 let protect_read t line =
-  if Hashtbl.mem t.lines line then true
-  else if Hashtbl.length t.lines >= effective_capacity t then false
+  if mem t line then true
+  else if entries t >= effective_capacity t then false
   else begin
-    Hashtbl.add t.lines line { backup = None };
+    Hashtbl.add t.reads line ();
     true
   end
 
 let protect_write t line ~backup =
-  match Hashtbl.find_opt t.lines line with
-  | Some e ->
-      if e.backup = None then begin
-        e.backup <- Some backup;
-        t.written_count <- t.written_count + 1
-      end;
-      true
-  | None ->
-      if Hashtbl.length t.lines >= effective_capacity t then false
-      else begin
-        Hashtbl.add t.lines line { backup = Some backup };
-        t.written_count <- t.written_count + 1;
-        true
-      end
+  if Hashtbl.mem t.writes line then true
+  else if Hashtbl.mem t.reads line then begin
+    (* Upgrade in place: entry count unchanged. *)
+    Hashtbl.remove t.reads line;
+    Hashtbl.add t.writes line backup;
+    true
+  end
+  else if entries t >= effective_capacity t then false
+  else begin
+    Hashtbl.add t.writes line backup;
+    true
+  end
 
 let release t line =
-  match Hashtbl.find_opt t.lines line with
-  | Some { backup = None } ->
-      Hashtbl.remove t.lines line;
-      true
-  | Some { backup = Some _ } | None -> false
+  if Hashtbl.mem t.reads line then begin
+    Hashtbl.remove t.reads line;
+    true
+  end
+  else false
 
-let iter_written t f =
-  Hashtbl.iter
-    (fun line e -> match e.backup with Some b -> f line b | None -> ())
-    t.lines
+let iter_written t f = Hashtbl.iter f t.writes
 
-let written_count t = t.written_count
+let written_count t = Hashtbl.length t.writes
 
 let clear t =
-  Hashtbl.reset t.lines;
-  t.written_count <- 0
+  Hashtbl.reset t.reads;
+  Hashtbl.reset t.writes

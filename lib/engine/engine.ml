@@ -13,9 +13,19 @@ type t = {
   mutable current : int;
   mutable events : int;
   tracer : Trace.t;
+  retired : int ref;  (* the creating domain's retired-cycle counter *)
 }
 
 type _ Effect.t += Elapse : int -> unit Effect.t
+
+(* Every cycle any engine on this domain simulates lands in one domain-
+   local counter; the harness reads deltas around each experiment cell to
+   price host time in simulated cycles/sec (BENCH_asf.json). An engine
+   always runs on the domain that created it, so caching the ref at
+   [create] keeps the hot path to a load and an add. *)
+let retired_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let cycles_retired () = !(Domain.DLS.get retired_key)
 
 let create ~n_cores =
   if n_cores <= 0 then invalid_arg "Engine.create: n_cores must be positive";
@@ -28,6 +38,7 @@ let create ~n_cores =
     current = 0;
     events = 0;
     tracer = Trace.installed ();
+    retired = Domain.DLS.get retired_key;
   }
 
 let n_cores t = t.n_cores
@@ -63,6 +74,7 @@ let exec t core f =
                 (fun (k : (a, _) Effect.Deep.continuation) ->
                   if n < 0 then invalid_arg "Engine.elapse: negative duration";
                   t.core_time.(core) <- t.core_time.(core) + n;
+                  t.retired := !(t.retired) + n;
                   enqueue t ~time:t.core_time.(core) (Resume (core, k)))
           | _ -> None);
     }

@@ -52,3 +52,8 @@ val events : t -> int
 (** Number of scheduling events processed so far (for diagnostics). *)
 
 val live_threads : t -> int
+
+val cycles_retired : unit -> int
+(** Total cycles simulated by every engine created on the calling domain
+    (a domain-local counter; read deltas around a run to price host time
+    in simulated cycles). *)

@@ -171,13 +171,16 @@ let seed t = t.seed
 
 let enabled t = t.enabled
 
-let global = ref null
+(* Domain-local, like the tracer: each pool worker domain installs its
+   own per-cell injector (same plan and seed), so injection streams and
+   hit counters are never shared across domains. *)
+let global = Domain.DLS.new_key (fun () -> null)
 
-let install t = global := t
+let install t = Domain.DLS.set global t
 
-let uninstall () = global := null
+let uninstall () = Domain.DLS.set global null
 
-let installed () = !global
+let installed () = Domain.DLS.get global
 
 (* Per-(site, core) stream: jump the root SplitMix64 sequence to the
    (site, core) index and split — each stream's initial state goes through
@@ -231,3 +234,12 @@ let serial_hang t = t.enabled && t.plan.serial_hang
 let counts t = Array.to_list (Array.mapi (fun i n -> (site_names.(i), n)) t.hits)
 
 let total t = Array.fold_left ( + ) 0 t.hits
+
+(* Census merging for the parallel cell runner: [hits] snapshots one
+   injector's per-site counts, [absorb] adds them into another's. The sum
+   is order-independent, so the merged census does not depend on which
+   domain ran which cell. *)
+let hits t = Array.copy t.hits
+
+let absorb t hits =
+  Array.iteri (fun site n -> t.hits.(site) <- t.hits.(site) + n) hits

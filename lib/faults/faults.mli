@@ -151,3 +151,15 @@ val counts : t -> (string * int) list
     zero hits included. *)
 
 val total : t -> int
+
+(** {1 Census merging}
+
+    For the parallel cell runner: each cell runs with its own injector,
+    and the per-site hit counts are summed back into the main instance in
+    cell order. *)
+
+val hits : t -> int array
+(** Snapshot of the per-site injection counts, in {!counts} order. *)
+
+val absorb : t -> int array -> unit
+(** Add a {!hits} snapshot into this instance's counters. *)

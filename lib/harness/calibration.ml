@@ -16,7 +16,9 @@ let run_with params app ~scale ~seed =
 
 let measure ~quick ~seed =
   let scale = if quick then 0.25 else 1.0 in
-  List.map
+  (* One cell per application; both machine profiles run inside the cell
+     (the deviation is a within-cell comparison). *)
+  Asf_parallel.Parallel.cell_map
     (fun app ->
       let detailed = run_with Params.barcelona app ~scale ~seed in
       let reference = run_with Params.native_reference app ~scale ~seed in

@@ -6,6 +6,7 @@ module Tm = Asf_tm_rt.Tm
 module Intset = Asf_intset.Intset
 module Stamp = Asf_stamp.Stamp
 module C = Asf_stamp.Stamp_common
+module Parallel = Asf_parallel.Parallel
 
 type t = {
   id : string;
@@ -27,22 +28,71 @@ let asf_modes =
 let stm_mode = { mname = "TinySTM"; mode = Tm.Stm_mode }
 
 (* ------------------------------------------------------------------ *)
+(* Parallel cells                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every simulator run below goes through {!Parallel.cell_map}: each
+   experiment enumerates its independent (workload x mode x threads)
+   combinations as a list of cells, runs them across the pool, and
+   assembles rows from the results — which come back in submission order
+   whatever the degree of parallelism, so [--jobs n] output is
+   bit-identical to [--jobs 1]. Cells must be self-contained: they never
+   touch [stamp_cache] (main-domain state) and any formatting they do is
+   pure. *)
+
+(* Split [xs] into consecutive chunks of [n] (length must divide). *)
+let chunk n xs =
+  let rec take k acc xs =
+    if k = 0 then (List.rev acc, xs)
+    else
+      match xs with
+      | [] -> invalid_arg "chunk: ragged input"
+      | x :: tl -> take (k - 1) (x :: acc) tl
+  in
+  let rec go xs = if xs = [] then [] else
+    let c, rest = take n [] xs in
+    c :: go rest
+  in
+  go xs
+
+(* ------------------------------------------------------------------ *)
 (* Memoised runs (Fig. 4 and Fig. 6 share one sweep)                    *)
 (* ------------------------------------------------------------------ *)
 
 let stamp_cache : (string, C.result) Hashtbl.t = Hashtbl.create 128
 
+let stamp_key ~quick ~seed app spec ~threads =
+  Printf.sprintf "%s/%s/%d/%b/%d" (Stamp.name app) spec.mname threads quick seed
+
+let stamp_cell ~quick ~seed (app, spec, threads) =
+  let scale = if quick then 0.25 else 1.0 in
+  Stamp.run_scaled app ~scale (cfg spec.mode ~threads ~seed) ~threads
+
 let stamp_run ~quick ~seed app spec ~threads =
-  let key =
-    Printf.sprintf "%s/%s/%d/%b/%d" (Stamp.name app) spec.mname threads quick seed
-  in
+  let key = stamp_key ~quick ~seed app spec ~threads in
   match Hashtbl.find_opt stamp_cache key with
   | Some r -> r
   | None ->
-      let scale = if quick then 0.25 else 1.0 in
-      let r = Stamp.run_scaled app ~scale (cfg spec.mode ~threads ~seed) ~threads in
+      let r = stamp_cell ~quick ~seed (app, spec, threads) in
       Hashtbl.add stamp_cache key r;
       r
+
+(* Fill [stamp_cache] for every combination in one parallel pass, so the
+   assembly loops below hit the cache. The cache is the one piece of
+   state shared across experiments; it is only ever read and written
+   here, on the calling (main) domain. *)
+let stamp_prefetch ~quick ~seed combos =
+  let missing =
+    List.filter
+      (fun (app, spec, threads) ->
+        not (Hashtbl.mem stamp_cache (stamp_key ~quick ~seed app spec ~threads)))
+      combos
+  in
+  let results = Parallel.cell_map (stamp_cell ~quick ~seed) missing in
+  List.iter2
+    (fun (app, spec, threads) r ->
+      Hashtbl.replace stamp_cache (stamp_key ~quick ~seed app spec ~threads) r)
+    missing results
 
 (* ------------------------------------------------------------------ *)
 (* fig3                                                                 *)
@@ -77,31 +127,45 @@ let fig3 ~quick ~seed =
 (* fig4                                                                 *)
 (* ------------------------------------------------------------------ *)
 
+let fig4_combos =
+  List.concat_map
+    (fun app ->
+      List.concat_map
+        (fun spec -> List.map (fun threads -> (app, spec, threads)) threads_all)
+        (asf_modes @ [ stm_mode ]))
+    Stamp.all
+
 let fig4 ~quick ~seed =
   let scale = if quick then 0.25 else 1.0 in
-  let rows =
-    List.concat_map
+  stamp_prefetch ~quick ~seed fig4_combos;
+  let seqs =
+    Parallel.cell_map
       (fun app ->
-        let tm_rows =
-          List.map
-            (fun spec ->
-              let times =
-                List.map
-                  (fun threads ->
-                    let r = stamp_run ~quick ~seed app spec ~threads in
-                    Report.f3 (ms r.C.cycles) ^ if C.ok r then "" else "!")
-                  threads_all
-              in
-              (Stamp.name app :: spec.mname :: times)
-              @ [])
-            (asf_modes @ [ stm_mode ])
-        in
-        let seq =
-          Stamp.run_scaled app ~scale (cfg Tm.Seq_mode ~threads:1 ~seed) ~threads:1
-        in
-        let seq_ms = Report.f3 (ms seq.C.cycles) in
-        tm_rows @ [ [ Stamp.name app; "Sequential"; seq_ms; seq_ms; seq_ms; seq_ms ] ])
+        Stamp.run_scaled app ~scale (cfg Tm.Seq_mode ~threads:1 ~seed) ~threads:1)
       Stamp.all
+  in
+  let rows =
+    List.concat
+      (List.map2
+         (fun app seq ->
+           let tm_rows =
+             List.map
+               (fun spec ->
+                 let times =
+                   List.map
+                     (fun threads ->
+                       let r = stamp_run ~quick ~seed app spec ~threads in
+                       Report.f3 (ms r.C.cycles) ^ if C.ok r then "" else "!")
+                     threads_all
+                 in
+                 (Stamp.name app :: spec.mname :: times)
+                 @ [])
+               (asf_modes @ [ stm_mode ])
+           in
+           let seq_ms = Report.f3 (ms seq.C.cycles) in
+           tm_rows
+           @ [ [ Stamp.name app; "Sequential"; seq_ms; seq_ms; seq_ms; seq_ms ] ])
+         Stamp.all seqs)
   in
   [
     Report.make ~id:"fig4"
@@ -145,23 +209,28 @@ let panel_name (s, range, upd) =
   Printf.sprintf "%s r=%d %d%%upd" (Intset.structure_name s) range upd
 
 let fig5 ~quick ~seed =
-  let rows =
+  let grid =
     List.concat_map
-      (fun ((structure, range, upd) as panel) ->
-        List.map
-          (fun spec ->
-            let cells =
-              List.map
-                (fun threads ->
-                  let c = intset_cfg ~quick structure ~range ~update_pct:upd ~early_release:false in
-                  let r = Intset.run (cfg spec.mode ~threads ~seed) ~threads c in
-                  Report.f2 r.Intset.throughput_tx_per_us
-                  ^ (if r.Intset.size_ok then "" else "!"))
-                threads_all
-            in
-            panel_name panel :: spec.mname :: cells)
-          asf_modes)
+      (fun panel ->
+        List.map (fun spec -> (panel, spec)) asf_modes)
       fig5_panels
+  in
+  let results =
+    Parallel.cell_map
+      (fun (((structure, range, upd), spec), threads) ->
+        let c = intset_cfg ~quick structure ~range ~update_pct:upd ~early_release:false in
+        let r = Intset.run (cfg spec.mode ~threads ~seed) ~threads c in
+        Report.f2 r.Intset.throughput_tx_per_us
+        ^ (if r.Intset.size_ok then "" else "!"))
+      (List.concat_map
+         (fun cell -> List.map (fun threads -> (cell, threads)) threads_all)
+         grid)
+  in
+  let rows =
+    List.map2
+      (fun (panel, spec) cells -> panel_name panel :: spec.mname :: cells)
+      grid
+      (chunk (List.length threads_all) results)
   in
   [
     Report.make ~id:"fig5"
@@ -192,6 +261,13 @@ let abort_classes stats =
   ]
 
 let fig6 ~quick ~seed =
+  stamp_prefetch ~quick ~seed
+    (List.concat_map
+       (fun app ->
+         List.concat_map
+           (fun spec -> List.map (fun threads -> (app, spec, threads)) threads_all)
+           asf_modes)
+       Stamp.all);
   let rows =
     List.concat_map
       (fun app ->
@@ -231,26 +307,29 @@ let fig7 ~quick ~seed =
     else [ 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ]
   in
   let sweep structure sizes =
-    List.map
-      (fun size ->
-        let cells =
-          List.map
-            (fun spec ->
-              let c =
-                {
-                  (intset_cfg ~quick structure ~range:(2 * size) ~update_pct:20
-                     ~early_release:false)
-                  with
-                  Intset.init_size = Some size;
-                  txns_per_thread = (if quick then 150 else 600);
-                }
-              in
-              let r = Intset.run (cfg spec.mode ~threads:8 ~seed) ~threads:8 c in
-              Report.f2 r.Intset.throughput_tx_per_us)
-            asf_modes
-        in
-        (Intset.structure_name structure :: string_of_int size :: cells))
+    let results =
+      Parallel.cell_map
+        (fun (size, spec) ->
+          let c =
+            {
+              (intset_cfg ~quick structure ~range:(2 * size) ~update_pct:20
+                 ~early_release:false)
+              with
+              Intset.init_size = Some size;
+              txns_per_thread = (if quick then 150 else 600);
+            }
+          in
+          let r = Intset.run (cfg spec.mode ~threads:8 ~seed) ~threads:8 c in
+          Report.f2 r.Intset.throughput_tx_per_us)
+        (List.concat_map
+           (fun size -> List.map (fun spec -> (size, spec)) asf_modes)
+           sizes)
+    in
+    List.map2
+      (fun size cells ->
+        Intset.structure_name structure :: string_of_int size :: cells)
       sizes
+      (chunk (List.length asf_modes) results)
   in
   [
     Report.make ~id:"fig7"
@@ -268,34 +347,34 @@ let fig8 ~quick ~seed =
   let sizes = if quick then [ 6; 30; 126; 510 ] else [ 6; 14; 30; 62; 126; 254; 510 ] in
   let variants = [ Variant.llb8; Variant.llb256 ] in
   let rows =
-    List.concat_map
-      (fun variant ->
-        List.map
-          (fun size ->
-            let run er =
-              let c =
-                {
-                  (intset_cfg ~quick Intset.Linked_list ~range:(2 * size)
-                     ~update_pct:20 ~early_release:er)
-                  with
-                  Intset.init_size = Some size;
-                  txns_per_thread = (if quick then 150 else 600);
-                }
-              in
-              Intset.run (cfg (Tm.Asf_mode variant) ~threads:8 ~seed) ~threads:8 c
-            in
-            let without = run false and with_er = run true in
-            [
-              variant.Variant.name;
-              string_of_int size;
-              Report.f2 without.Intset.throughput_tx_per_us;
-              Report.f2 with_er.Intset.throughput_tx_per_us;
-              Report.f2
-                (with_er.Intset.throughput_tx_per_us
-                /. max 0.001 without.Intset.throughput_tx_per_us);
-            ])
-          sizes)
-      variants
+    Parallel.cell_map
+      (fun (variant, size) ->
+        let run er =
+          let c =
+            {
+              (intset_cfg ~quick Intset.Linked_list ~range:(2 * size)
+                 ~update_pct:20 ~early_release:er)
+              with
+              Intset.init_size = Some size;
+              txns_per_thread = (if quick then 150 else 600);
+            }
+          in
+          Intset.run (cfg (Tm.Asf_mode variant) ~threads:8 ~seed) ~threads:8 c
+        in
+        let without = run false in
+        let with_er = run true in
+        [
+          variant.Variant.name;
+          string_of_int size;
+          Report.f2 without.Intset.throughput_tx_per_us;
+          Report.f2 with_er.Intset.throughput_tx_per_us;
+          Report.f2
+            (with_er.Intset.throughput_tx_per_us
+            /. max 0.001 without.Intset.throughput_tx_per_us);
+        ])
+      (List.concat_map
+         (fun variant -> List.map (fun size -> (variant, size)) sizes)
+         variants)
   in
   [
     Report.make ~id:"fig8"
@@ -317,7 +396,7 @@ let tab1_structures =
   ]
 
 let breakdown_runs ~quick ~seed =
-  List.map
+  Parallel.cell_map
     (fun (structure, upd) ->
       let c =
         {
@@ -417,7 +496,11 @@ let abl_wins ~quick ~seed =
     let tm = { (cfg (Tm.Asf_mode Variant.llb256) ~threads:8 ~seed) with Tm.requester_wins } in
     Intset.run tm ~threads:8 c
   in
-  let wins = run true and loses = run false in
+  let wins, loses =
+    match Parallel.cell_map run [ true; false ] with
+    | [ w; l ] -> (w, l)
+    | _ -> assert false
+  in
   let row name (r : Intset.result) =
     [
       name;
@@ -441,7 +524,11 @@ let abl_tlb ~quick ~seed =
     let tm = { (cfg (Tm.Asf_mode Variant.llb256) ~threads:8 ~seed) with Tm.abort_on_tlb_miss } in
     Intset.run tm ~threads:8 c
   in
-  let asf_sem = run false and rock_sem = run true in
+  let asf_sem, rock_sem =
+    match Parallel.cell_map run [ false; true ] with
+    | [ a; r ] -> (a, r)
+    | _ -> assert false
+  in
   let row name (r : Intset.result) =
     let a = Stats.aborts r.Intset.stats in
     [
@@ -474,7 +561,11 @@ let abl_annot ~quick ~seed =
            else Labyrinth.default.Labyrinth.paths);
       }
   in
-  let compiler_default = run false and privatized = run true in
+  let compiler_default, privatized =
+    match Parallel.cell_map run [ false; true ] with
+    | [ d; p ] -> (d, p)
+    | _ -> assert false
+  in
   let row name (r : C.result) =
     [
       name;
@@ -503,7 +594,11 @@ let abl_backoff ~quick ~seed =
     let tm = { (cfg (Tm.Asf_mode Variant.llb256) ~threads:8 ~seed) with Tm.backoff } in
     Stamp.run_scaled Stamp.Intruder ~scale:(if quick then 0.25 else 1.0) tm ~threads:8
   in
-  let on = run true and off = run false in
+  let on, off =
+    match Parallel.cell_map run [ true; false ] with
+    | [ on; off ] -> (on, off)
+    | _ -> assert false
+  in
   let row name (r : C.result) =
     [
       name;
@@ -532,22 +627,21 @@ let abl_cache ~quick ~seed =
     ]
   in
   let rows =
-    List.concat_map
-      (fun ((structure, range, upd) as panel) ->
-        List.map
-          (fun v ->
-            let c = intset_cfg ~quick structure ~range ~update_pct:upd ~early_release:false in
-            let r = Intset.run (cfg (Tm.Asf_mode v) ~threads:8 ~seed) ~threads:8 c in
-            let a = Stats.aborts r.Intset.stats in
-            [
-              panel_name panel;
-              v.Variant.name;
-              Report.f2 r.Intset.throughput_tx_per_us;
-              string_of_int a.(Abort.index Abort.Capacity);
-              string_of_int (Stats.serial_commits r.Intset.stats);
-            ])
-          variants)
-      panels
+    Parallel.cell_map
+      (fun ((structure, range, upd) as panel, v) ->
+        let c = intset_cfg ~quick structure ~range ~update_pct:upd ~early_release:false in
+        let r = Intset.run (cfg (Tm.Asf_mode v) ~threads:8 ~seed) ~threads:8 c in
+        let a = Stats.aborts r.Intset.stats in
+        [
+          panel_name panel;
+          v.Variant.name;
+          Report.f2 r.Intset.throughput_tx_per_us;
+          string_of_int a.(Abort.index Abort.Capacity);
+          string_of_int (Stats.serial_commits r.Intset.stats);
+        ])
+      (List.concat_map
+         (fun panel -> List.map (fun v -> (panel, v)) variants)
+         panels)
   in
   [
     Report.make ~id:"abl-cache"
@@ -573,28 +667,30 @@ let abl_phased ~quick ~seed =
     }
   in
   let rows =
-    List.concat_map
-      (fun (label, structure, range) ->
+    Parallel.cell_map
+      (fun ((label, structure, range), (mname, mode)) ->
         let c = mk structure range in
-        List.map
-          (fun (mname, mode) ->
-            let tm = cfg mode ~threads:8 ~seed in
-            let r = Intset.run tm ~threads:8 c in
-            [
-              label;
-              mname;
-              Report.f2 r.Intset.throughput_tx_per_us;
-              string_of_int (Stats.serial_commits r.Intset.stats);
-            ])
-          [
-            ("serial fallback (paper)", Tm.Asf_mode Variant.llb8);
-            ("phased STM fallback", Tm.Phased_mode Variant.llb8);
-            ("pure TinySTM", Tm.Stm_mode);
-          ])
-      [
-        ("rb-tree r=16384", Intset.Rb_tree, 16384);
-        ("linked-list r=1020", Intset.Linked_list, 1020);
-      ]
+        let tm = cfg mode ~threads:8 ~seed in
+        let r = Intset.run tm ~threads:8 c in
+        [
+          label;
+          mname;
+          Report.f2 r.Intset.throughput_tx_per_us;
+          string_of_int (Stats.serial_commits r.Intset.stats);
+        ])
+      (List.concat_map
+         (fun workload ->
+           List.map
+             (fun fallback -> (workload, fallback))
+             [
+               ("serial fallback (paper)", Tm.Asf_mode Variant.llb8);
+               ("phased STM fallback", Tm.Phased_mode Variant.llb8);
+               ("pure TinySTM", Tm.Stm_mode);
+             ])
+         [
+           ("rb-tree r=16384", Intset.Rb_tree, 16384);
+           ("linked-list r=1020", Intset.Linked_list, 1020);
+         ])
   in
   [
     Report.make ~id:"abl-phased"
@@ -625,25 +721,25 @@ let abl_wb ~quick ~seed =
     [ (Intset.Rb_tree, 1024, 20); (Intset.Hash_set, 4096, 100); (Intset.Linked_list, 128, 20) ]
   in
   let rows =
-    List.concat_map
-      (fun ((structure, range, upd) as panel) ->
-        List.concat_map
-          (fun (sname, stm_strategy) ->
-            List.map
-              (fun threads ->
-                let c = intset_cfg ~quick structure ~range ~update_pct:upd ~early_release:false in
-                let tm = { (cfg Tm.Stm_mode ~threads ~seed) with Tm.stm_strategy } in
-                let r = Intset.run tm ~threads c in
-                [
-                  panel_name panel;
-                  sname;
-                  string_of_int threads;
-                  Report.f2 r.Intset.throughput_tx_per_us;
-                  string_of_int (Stats.total_aborts r.Intset.stats);
-                ])
-              [ 1; 8 ])
-          strategies)
-      panels
+    Parallel.cell_map
+      (fun (((structure, range, upd) as panel), (sname, stm_strategy), threads) ->
+        let c = intset_cfg ~quick structure ~range ~update_pct:upd ~early_release:false in
+        let tm = { (cfg Tm.Stm_mode ~threads ~seed) with Tm.stm_strategy } in
+        let r = Intset.run tm ~threads c in
+        [
+          panel_name panel;
+          sname;
+          string_of_int threads;
+          Report.f2 r.Intset.throughput_tx_per_us;
+          string_of_int (Stats.total_aborts r.Intset.stats);
+        ])
+      (List.concat_map
+         (fun panel ->
+           List.concat_map
+             (fun strategy ->
+               List.map (fun threads -> (panel, strategy, threads)) [ 1; 8 ])
+             strategies)
+         panels)
   in
   [
     Report.make ~id:"abl-wb"
@@ -671,21 +767,20 @@ let abl_socket ~quick ~seed =
     (Intset.run tm ~threads c).Intset.throughput_tx_per_us
   in
   let rows =
-    List.concat_map
-      (fun (sname, structure) ->
-        List.map
-          (fun threads ->
-            let single = run Params.barcelona structure threads in
-            let dual = run Params.dual_socket structure threads in
-            [
-              sname;
-              string_of_int threads;
-              Report.f2 single;
-              Report.f2 dual;
-              Report.f2 (dual /. max 0.001 single);
-            ])
-          [ 2; 4; 8 ])
-      [ ("rb-tree", Intset.Rb_tree); ("hash-set", Intset.Hash_set) ]
+    Parallel.cell_map
+      (fun ((sname, structure), threads) ->
+        let single = run Params.barcelona structure threads in
+        let dual = run Params.dual_socket structure threads in
+        [
+          sname;
+          string_of_int threads;
+          Report.f2 single;
+          Report.f2 dual;
+          Report.f2 (dual /. max 0.001 single);
+        ])
+      (List.concat_map
+         (fun s -> List.map (fun threads -> (s, threads)) [ 2; 4; 8 ])
+         [ ("rb-tree", Intset.Rb_tree); ("hash-set", Intset.Hash_set) ])
   in
   [
     Report.make ~id:"abl-socket"

@@ -46,6 +46,78 @@ let to_csv t =
   let line cells = String.concat "," (List.map csv_escape cells) in
   String.concat "\n" (line t.columns :: List.map line t.rows) ^ "\n"
 
+(* RFC-4180-style parser for what [to_csv] writes: quoted cells may
+   contain commas, doubled quotes and newlines. Returns every row,
+   header first. *)
+let parse_csv s =
+  let n = String.length s in
+  let rows = ref [] and row = ref [] in
+  let buf = Buffer.create 32 in
+  let cell () =
+    row := Buffer.contents buf :: !row;
+    Buffer.clear buf
+  in
+  let line () =
+    cell ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let rec field i =
+    (* start of a cell *)
+    if i >= n then begin
+      if !row <> [] || Buffer.length buf > 0 then line ();
+      Ok ()
+    end
+    else if s.[i] = '"' then quoted (i + 1)
+    else plain i
+  and plain i =
+    if i >= n then begin
+      line ();
+      Ok ()
+    end
+    else
+      match s.[i] with
+      | ',' ->
+          cell ();
+          field (i + 1)
+      | '\n' ->
+          line ();
+          field (i + 1)
+      | '"' -> Error (Printf.sprintf "parse_csv: stray quote at offset %d" i)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then Error "parse_csv: unterminated quoted cell"
+    else if s.[i] = '"' then
+      if i + 1 < n && s.[i + 1] = '"' then begin
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      end
+      else after_quote (i + 1)
+    else begin
+      Buffer.add_char buf s.[i];
+      quoted (i + 1)
+    end
+  and after_quote i =
+    if i >= n then begin
+      line ();
+      Ok ()
+    end
+    else
+      match s.[i] with
+      | ',' ->
+          cell ();
+          field (i + 1)
+      | '\n' ->
+          line ();
+          field (i + 1)
+      | _ ->
+          Error
+            (Printf.sprintf "parse_csv: text after closing quote at offset %d" i)
+  in
+  match field 0 with Ok () -> Ok (List.rev !rows) | Error _ as e -> e
+
 let save_csv ~dir t =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let path = Filename.concat dir (t.id ^ ".csv") in

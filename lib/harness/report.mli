@@ -18,8 +18,14 @@ val print : t -> unit
 
 val to_csv : t -> string
 
+val parse_csv : string -> (string list list, string) result
+(** Inverse of {!to_csv}: every row of the CSV text, header first, with
+    quoting undone — [parse_csv (to_csv t) = Ok (t.columns :: t.rows)].
+    [Error] describes the first malformed cell. *)
+
 val save_csv : dir:string -> t -> string
-(** Writes [<dir>/<id>.csv] (creating [dir]) and returns the path. *)
+(** Writes [<dir>/<id>.csv] (creating [dir]) and returns the path.
+    @raise Sys_error when the directory or file cannot be written. *)
 
 val of_trace : id:string -> Asf_trace.Trace.t -> t
 (** Summary table of a tracer's per-kind event counts (zero-count kinds

@@ -1,0 +1,189 @@
+(* Asf_parallel: a deterministic fork-join domain pool for the experiment
+   harness.
+
+   The unit of parallelism is the *cell*: one fully deterministic
+   simulator instance (a (workload x variant x thread-count x seed)
+   combination). Cells share no mutable state, so they can execute on any
+   domain in any order; the pool merges their results back in canonical
+   (submission) order, which makes the output of [--jobs n] bit-identical
+   to [--jobs 1].
+
+   Scheduling is the classic self-scheduling / work-stealing-style shared
+   queue: workers repeatedly claim the next unclaimed cell index from one
+   atomic counter, so long cells never leave a domain idle while work
+   remains (cf. Blumofe & Leiserson's work-first principle; with
+   independent, pre-enumerated tasks a single shared queue gives the same
+   schedule quality as per-deque stealing without the deques).
+
+   Observability state (Txcheck checkers, Faultline injectors, tracers)
+   is *domain-local* ({!Asf_trace.Trace}, {!Asf_check.Check} and
+   {!Asf_faults.Faults} keep their installed instance in [Domain.DLS]):
+   [cell_map] gives every cell a fresh checker / injector derived from
+   the main domain's configuration and merges the harvested findings and
+   injection censuses back in cell order. See DESIGN.md, "The determinism
+   contract". *)
+
+module Engine = Asf_engine.Engine
+module Trace = Asf_trace.Trace
+module Check = Asf_check.Check
+module Faults = Asf_faults.Faults
+
+(* ------------------------------------------------------------------ *)
+(* The pool                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let available () = Domain.recommended_domain_count ()
+
+(* The harness-wide degree of parallelism, set once from the CLI on the
+   main domain before any cells run. 1 = fully sequential (no domain is
+   ever spawned, today's path). *)
+let current_jobs = ref 1
+
+let set_jobs n = current_jobs := max 1 n
+
+let jobs () = !current_jobs
+
+(* Execute every thunk and return the results in submission order.
+   [jobs <= 1] (or a single thunk) runs inline on the calling domain,
+   fail-fast; otherwise [jobs - 1] worker domains are spawned and the
+   caller participates as the last worker. A raising thunk does not
+   cancel its siblings; after the join, the lowest-index exception is
+   re-raised (the same one a sequential left-to-right run would have
+   surfaced first). *)
+let run_thunks ?jobs:(j = !current_jobs) thunks =
+  let n = Array.length thunks in
+  let j = max 1 (min j n) in
+  if j <= 1 then Array.map (fun f -> f ()) thunks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             Some
+               (match thunks.(i) () with
+               | v -> Ok v
+               | exception e -> Error (e, Printexc.get_raw_backtrace ())));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let workers = Array.init (j - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join workers;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false (* every index was claimed before the join *))
+      results
+  end
+
+let map_array ?jobs f xs =
+  run_thunks ?jobs (Array.map (fun x () -> f x) xs)
+
+let map ?jobs f xs =
+  Array.to_list (map_array ?jobs f (Array.of_list xs))
+
+(* ------------------------------------------------------------------ *)
+(* Simulated-cycle accounting                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Cycles simulated by cells run through [cell_map] since the last
+   [reset_sim_cycles], harvested from each executing domain's retired-
+   cycle counter and summed on the main domain. Powers the cycles/sec
+   figures in BENCH_asf.json. *)
+let sim_cycle_acc = ref 0
+
+let reset_sim_cycles () = sim_cycle_acc := 0
+
+let sim_cycles () = !sim_cycle_acc
+
+(* ------------------------------------------------------------------ *)
+(* Cells                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type 'b cell_out = {
+  co_val : 'b;
+  co_cycles : int;
+  co_findings : Check.finding list;
+  co_hits : int array;
+}
+
+(* Map [f] over [xs] as independent deterministic cells across the pool.
+
+   Each cell runs with its own domain-locally installed Txcheck checker
+   and Faultline injector, freshly derived from whatever the main domain
+   has installed (same parts; same plan and seed). After all cells
+   complete, their findings and injection counts are absorbed into the
+   main domain's instances in cell order — so the final findings table
+   and census are independent of which domain ran which cell, and of the
+   completion order.
+
+   Tracing has no such merge path (rings are ordered by host emission):
+   when a tracer is installed, the map degrades to sequential so every
+   cell keeps appending to the main tracer exactly as today. *)
+let cell_map f xs =
+  let main_chk = Check.installed () in
+  let main_fl = Faults.installed () in
+  let parts = Option.map (fun c -> Check.parts c) main_chk in
+  let fplan =
+    if Faults.enabled main_fl then Some (Faults.plan main_fl, Faults.seed main_fl)
+    else None
+  in
+  let scoped = parts <> None || fplan <> None in
+  let run_cell x =
+    if not scoped then begin
+      let c0 = Engine.cycles_retired () in
+      let v = f x in
+      {
+        co_val = v;
+        co_cycles = Engine.cycles_retired () - c0;
+        co_findings = [];
+        co_hits = [||];
+      }
+    end
+    else begin
+      (* Executing-domain scope: save whatever this domain had installed
+         (the main domain's own instances when jobs = 1), substitute the
+         per-cell derivations, and restore on the way out. *)
+      let saved_chk = Check.installed () in
+      let saved_fl = Faults.installed () in
+      let chk = Option.map (fun parts -> Check.create ~parts ()) parts in
+      let fl = Option.map (fun (plan, seed) -> Faults.create ~seed plan) fplan in
+      (match chk with Some c -> Check.install c | None -> ());
+      (match fl with Some fl -> Faults.install fl | None -> ());
+      Fun.protect
+        ~finally:(fun () ->
+          (match saved_chk with
+          | Some c -> Check.install c
+          | None -> Check.uninstall ());
+          Faults.install saved_fl)
+        (fun () ->
+          let c0 = Engine.cycles_retired () in
+          let v = f x in
+          {
+            co_val = v;
+            co_cycles = Engine.cycles_retired () - c0;
+            co_findings =
+              (match chk with Some c -> Check.export c | None -> []);
+            co_hits = (match fl with Some fl -> Faults.hits fl | None -> [||]);
+          })
+    end
+  in
+  let jobs =
+    if Trace.enabled (Trace.installed ()) then 1 else !current_jobs
+  in
+  let outs = map ~jobs run_cell xs in
+  List.map
+    (fun o ->
+      sim_cycle_acc := !sim_cycle_acc + o.co_cycles;
+      (match main_chk with
+      | Some c -> Check.absorb c o.co_findings
+      | None -> ());
+      if Faults.enabled main_fl then Faults.absorb main_fl o.co_hits;
+      o.co_val)
+    outs

@@ -165,13 +165,17 @@ let enabled t = t.enabled
 
 let set_enabled t v = t.enabled <- v
 
-let global = ref null
+(* The installed tracer is domain-local: a tracer installed on the main
+   domain is never observed (or mutated) by pool worker domains, whose
+   cells see the null tracer instead — the parallel cell runner degrades
+   to sequential whenever a tracer is installed, so no events are lost. *)
+let global = Domain.DLS.new_key (fun () -> null)
 
-let install t = global := t
+let install t = Domain.DLS.set global t
 
-let uninstall () = global := null
+let uninstall () = Domain.DLS.set global null
 
-let installed () = !global
+let installed () = Domain.DLS.get global
 
 let ensure_core t core =
   let n = Array.length t.rings in

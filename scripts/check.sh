@@ -25,6 +25,11 @@ dune build @check
 # (exit 3) fail the build.
 dune build @soak
 
+# Benchmark-harness smoke: the quick reproduction at --jobs 2, with the
+# harness asserting that the parallel pass is bit-identical to the
+# sequential one and that the emitted benchmark JSON validates.
+dune build @bench-smoke
+
 # Watchdog negative fixture: under the livelock plan (permanent spurious
 # aborts + a hanging serial-lock holder) the run MUST be ended by the
 # progress watchdog with a non-zero exit; a zero exit means the watchdog

@@ -64,6 +64,55 @@ let prop_cache_vs_reference_lru =
           hit = hit_model)
         keys)
 
+(* A straightforward per-set LRU list model, shared by the reference
+   checks below: most-recent first, [touch] returns the displaced key. *)
+module Lru_model = struct
+  type t = { sets : int; assoc : int; ways : int list array }
+
+  let create ~sets ~assoc = { sets; assoc; ways = Array.make sets [] }
+
+  let idx t k = k land (t.sets - 1)
+
+  let mem t k = List.mem k t.ways.(idx t k)
+
+  let touch t k =
+    let s = idx t k in
+    let l = k :: List.filter (fun x -> x <> k) t.ways.(s) in
+    let evicted = if List.length l > t.assoc then Some (List.nth l t.assoc) else None in
+    t.ways.(s) <- List.filteri (fun i _ -> i < t.assoc) l;
+    evicted
+
+  let invalidate t k =
+    let s = idx t k in
+    let present = List.mem k t.ways.(s) in
+    t.ways.(s) <- List.filter (fun x -> x <> k) t.ways.(s);
+    present
+end
+
+let prop_touch_evict_vs_model =
+  (* The allocation-free hot-path entry points ([touch_evict],
+     [invalidate] over [find_way_idx]) against the list model: hits,
+     evicted tags and membership must all agree. *)
+  QCheck.Test.make ~name:"touch_evict/invalidate match reference LRU model"
+    ~count:200
+    QCheck.(list (pair bool (int_range 0 63)))
+    (fun ops ->
+      let c = Cache.create ~sets:4 ~assoc:3 in
+      let m = Lru_model.create ~sets:4 ~assoc:3 in
+      List.for_all
+        (fun (inval, k) ->
+          if inval then Cache.invalidate c k = Lru_model.invalidate m k
+          else begin
+            let hit_model = Lru_model.mem m k in
+            let hit = Cache.mem c k in
+            let ev = Cache.touch_evict c k in
+            let ev_model = Lru_model.touch m k in
+            hit = hit_model
+            && (match ev_model with Some v -> ev = v | None -> ev = -1)
+            && Cache.mem c k
+          end)
+        ops)
+
 (* ------------------------------------------------------------------ *)
 (* TLB                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -103,6 +152,64 @@ let test_tlb_map_range () =
   Alcotest.(check bool) "first page" true (Tlb.page_mapped t 0);
   Alcotest.(check bool) "second page" true (Tlb.page_mapped t 1);
   Alcotest.(check int) "exactly two" 2 (Tlb.mapped_pages t)
+
+let prop_tlb_vs_reference_model =
+  (* The flat page-table bitmap against a hashtable page set (the old
+     representation) with LRU-model TLB caches: translate outcomes,
+     page_mapped and mapped_pages must agree on random op sequences,
+     including pages past the initial bitmap capacity. *)
+  QCheck.Test.make ~name:"tlb bitmap matches hashtable reference model"
+    ~count:200
+    QCheck.(list (pair (int_range 0 3) (int_range 0 50)))
+    (fun ops ->
+      let p = Params.barcelona in
+      let t = Tlb.create p ~n_cores:1 in
+      let pages : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+      let l1m = Lru_model.create ~sets:1 ~assoc:p.tlb_l1_entries in
+      let l2m =
+        Lru_model.create ~sets:(p.tlb_l2_entries / p.tlb_l2_assoc)
+          ~assoc:p.tlb_l2_assoc
+      in
+      let ref_translate page : Tlb.outcome =
+        if Lru_model.mem l1m page then begin
+          ignore (Lru_model.touch l1m page);
+          Tlb.Translated 0
+        end
+        else if Lru_model.mem l2m page then begin
+          ignore (Lru_model.touch l2m page);
+          ignore (Lru_model.touch l1m page);
+          Tlb.Translated p.tlb_l2_latency
+        end
+        else if not (Hashtbl.mem pages page) then Tlb.Fault page
+        else begin
+          ignore (Lru_model.touch l2m page);
+          ignore (Lru_model.touch l1m page);
+          Tlb.Translated p.page_walk_latency
+        end
+      in
+      List.for_all
+        (fun (tag, page) ->
+          (* Pages 45-50 are remapped far past the initial 4096-slot
+             bitmap so growth is exercised. *)
+          let page = if page >= 45 then 5000 + ((page - 45) * 1024) else page in
+          match tag with
+          | 0 ->
+              Tlb.map_page t page;
+              Hashtbl.replace pages page ();
+              true
+          | 1 ->
+              Tlb.unmap_page t page;
+              Hashtbl.remove pages page;
+              ignore (Lru_model.invalidate l1m page);
+              ignore (Lru_model.invalidate l2m page);
+              true
+          | 2 ->
+              let got = Tlb.translate t ~core:0 (page * 512) ~speculative:false in
+              got = ref_translate page
+          | _ ->
+              Tlb.page_mapped t page = Hashtbl.mem pages page
+              && Tlb.mapped_pages t = Hashtbl.length pages)
+        ops)
 
 (* ------------------------------------------------------------------ *)
 (* Hierarchy                                                           *)
@@ -175,6 +282,135 @@ let test_hierarchy_evict_hook () =
   ignore (Hierarchy.access h ~core:0 ~line:512 ~write:false);
   ignore (Hierarchy.access h ~core:0 ~line:1024 ~write:false);
   Alcotest.(check (list int)) "LRU line 0 displaced" [ 0 ] !evicted
+
+(* Reference coherence model: the directory as a hashtable of
+   per-line entries (the representation the flat [dir_owners] /
+   [dir_dirty] arrays replaced), over the same cache geometry. Latency,
+   invalidation and cross-socket accounting and the evict-hook trail
+   must be indistinguishable from [Hierarchy.access]. *)
+module Ref_hier = struct
+  type entry = { mutable owners : int; mutable dirty : int }
+
+  type t = {
+    p : Params.t;
+    n_cores : int;
+    l1 : Cache.t array;
+    l2 : Cache.t array;
+    l3 : Cache.t array;
+    dir : (int, entry) Hashtbl.t;
+    evict_hooks : (int -> unit) array;
+    mutable invalidations : int;
+    mutable cross_socket_probes : int;
+  }
+
+  let create (p : Params.t) ~n_cores =
+    let mk size assoc =
+      Cache.create_bytes ~size_bytes:size ~assoc ~line_bytes:p.line_bytes
+    in
+    {
+      p;
+      n_cores;
+      l1 = Array.init n_cores (fun _ -> mk p.l1_bytes p.l1_assoc);
+      l2 = Array.init n_cores (fun _ -> mk p.l2_bytes p.l2_assoc);
+      l3 = Array.init p.n_sockets (fun _ -> mk p.l3_bytes p.l3_assoc);
+      dir = Hashtbl.create 64;
+      evict_hooks = Array.make n_cores (fun _ -> ());
+      invalidations = 0;
+      cross_socket_probes = 0;
+    }
+
+  let entry t line =
+    match Hashtbl.find_opt t.dir line with
+    | Some e -> e
+    | None ->
+        let e = { owners = 0; dirty = -1 } in
+        Hashtbl.add t.dir line e;
+        e
+
+  let socket_of t core = core * t.p.Params.n_sockets / t.n_cores
+
+  let access t ~core ~line ~write =
+    let p = t.p in
+    let e = entry t line in
+    let dirty0 = e.dirty in
+    let socket = socket_of t core in
+    let remote_dirty = dirty0 <> -1 && dirty0 <> core in
+    let base_latency =
+      if Cache.mem t.l1.(core) line then p.l1_latency
+      else if Cache.mem t.l2.(core) line then p.l2_latency
+      else if remote_dirty then p.l3_latency
+      else if Cache.mem t.l3.(socket) line then p.l3_latency
+      else p.mem_latency
+    in
+    let extra = ref 0 in
+    let my_bit = 1 lsl core in
+    if write then begin
+      let others = e.owners land lnot my_bit in
+      if others <> 0 || remote_dirty then begin
+        extra := !extra + p.coherence_probe_latency;
+        t.invalidations <- t.invalidations + 1;
+        let crossed = ref false in
+        for c = 0 to t.n_cores - 1 do
+          if c <> core && others land (1 lsl c) <> 0 then begin
+            if socket_of t c <> socket then crossed := true;
+            if Cache.invalidate t.l1.(c) line then t.evict_hooks.(c) line;
+            ignore (Cache.invalidate t.l2.(c) line)
+          end
+        done;
+        if !crossed then begin
+          t.cross_socket_probes <- t.cross_socket_probes + 1;
+          extra := !extra + p.cross_socket_latency
+        end
+      end;
+      e.owners <- my_bit;
+      e.dirty <- core
+    end
+    else begin
+      if remote_dirty then begin
+        extra := !extra + p.coherence_probe_latency;
+        if socket_of t dirty0 <> socket then begin
+          t.cross_socket_probes <- t.cross_socket_probes + 1;
+          extra := !extra + p.cross_socket_latency
+        end;
+        e.dirty <- -1
+      end;
+      e.owners <- e.owners lor my_bit
+    end;
+    (let victim = Cache.touch_evict t.l1.(core) line in
+     if victim <> -1 then t.evict_hooks.(core) victim);
+    ignore (Cache.touch_evict t.l2.(core) line);
+    ignore (Cache.touch_evict t.l3.(socket) line);
+    base_latency + !extra
+end
+
+let prop_hierarchy_vs_hashtbl_directory =
+  QCheck.Test.make ~name:"hierarchy matches hashtable-directory reference"
+    ~count:100
+    QCheck.(list (triple (int_range 0 3) (int_range 0 63) bool))
+    (fun ops ->
+      let p = Params.dual_socket in
+      let n_cores = 4 in
+      let h = Hierarchy.create p ~n_cores in
+      let r = Ref_hier.create p ~n_cores in
+      let h_evicts = ref [] and r_evicts = ref [] in
+      for core = 0 to n_cores - 1 do
+        Hierarchy.set_evict_hook h ~core (fun l -> h_evicts := (core, l) :: !h_evicts);
+        r.Ref_hier.evict_hooks.(core) <- (fun l -> r_evicts := (core, l) :: !r_evicts)
+      done;
+      let agree =
+        List.for_all
+          (fun (core, sel, write) ->
+            (* Map the top of the range far past the directory's initial
+               65536 slots so growth-by-doubling is exercised too. *)
+            let line = if sel >= 60 then 70_000 + ((sel - 60) * 513) else sel in
+            Hierarchy.access h ~core ~line ~write
+            = Ref_hier.access r ~core ~line ~write)
+          ops
+      in
+      agree
+      && !h_evicts = !r_evicts
+      && Hierarchy.invalidations h = r.Ref_hier.invalidations
+      && Hierarchy.cross_socket_probes h = r.Ref_hier.cross_socket_probes)
 
 (* ------------------------------------------------------------------ *)
 (* Memsys                                                              *)
@@ -297,12 +533,14 @@ let () =
           Alcotest.test_case "set isolation" `Quick test_cache_set_isolation;
           Alcotest.test_case "invalidate" `Quick test_cache_invalidate;
           q prop_cache_vs_reference_lru;
+          q prop_touch_evict_vs_model;
         ] );
       ( "tlb",
         [
           Alcotest.test_case "fault then hit" `Quick test_tlb_fault_then_hit;
           Alcotest.test_case "rock ablation" `Quick test_tlb_rock_ablation;
           Alcotest.test_case "map range" `Quick test_tlb_map_range;
+          q prop_tlb_vs_reference_model;
         ] );
       ( "hierarchy",
         [
@@ -312,6 +550,7 @@ let () =
           Alcotest.test_case "cross socket" `Quick test_hierarchy_cross_socket;
           Alcotest.test_case "per-socket L3" `Quick test_hierarchy_per_socket_l3;
           Alcotest.test_case "evict hook" `Quick test_hierarchy_evict_hook;
+          q prop_hierarchy_vs_hashtbl_directory;
         ] );
       ( "memsys",
         [

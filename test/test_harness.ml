@@ -52,6 +52,61 @@ let test_report_save_csv () =
   close_in ic;
   Alcotest.(check string) "header" "x" line
 
+let test_report_parse_csv () =
+  let r =
+    Report.make ~id:"c" ~title:"t" [ "a"; "b" ]
+      [ [ "1"; "has,comma" ]; [ "2"; "has\"quote" ]; [ "3"; "two\nlines" ] ]
+  in
+  Alcotest.(check bool) "round trip" true
+    (Report.parse_csv (Report.to_csv r) = Ok (r.Report.columns :: r.Report.rows))
+
+let test_report_parse_csv_malformed () =
+  let is_err = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "stray quote" true (is_err (Report.parse_csv "a\"b,c\n"));
+  Alcotest.(check bool) "unterminated quote" true
+    (is_err (Report.parse_csv "\"never closed"));
+  Alcotest.(check bool) "text after closing quote" true
+    (is_err (Report.parse_csv "\"x\"y,z\n"))
+
+let prop_csv_round_trip =
+  (* parse_csv is the exact inverse of to_csv for any table, including
+     cells full of separators, quotes and newlines. *)
+  let cell_gen =
+    QCheck.Gen.(
+      string_size ~gen:(oneofl [ 'a'; 'z'; ','; '"'; '\n'; ' ' ]) (int_bound 8))
+  in
+  let table_gen =
+    QCheck.Gen.(
+      int_range 1 4 >>= fun n_cols ->
+      let row = list_size (return n_cols) cell_gen in
+      pair row (list_size (int_bound 5) row))
+  in
+  let print (cols, rows) =
+    String.concat "|" cols ^ " // "
+    ^ String.concat " ; " (List.map (String.concat "|") rows)
+  in
+  QCheck.Test.make ~name:"parse_csv inverts to_csv" ~count:500
+    (QCheck.make ~print table_gen)
+    (fun (columns, rows) ->
+      let t = Report.make ~id:"prop" ~title:"t" columns rows in
+      Report.parse_csv (Report.to_csv t) = Ok (columns :: rows))
+
+let test_report_csv_file_round_trip () =
+  (* Through the filesystem: what save_csv writes, parse_csv reads back. *)
+  let dir = Filename.temp_file "asf" "" in
+  Sys.remove dir;
+  let r =
+    Report.make ~id:"rt" ~title:"t"
+      [ "plain"; "gnarly" ]
+      [ [ "1"; "a,b" ]; [ "2"; "say \"hi\"" ]; [ "3"; "one\ntwo" ] ]
+  in
+  let path = Report.save_csv ~dir r in
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check bool) "file parses back to the table" true
+    (Report.parse_csv s = Ok (r.Report.columns :: r.Report.rows))
+
 (* ------------------------------------------------------------------ *)
 (* Calibration / experiments                                           *)
 (* ------------------------------------------------------------------ *)
@@ -240,6 +295,12 @@ let () =
           Alcotest.test_case "ragged" `Quick test_report_ragged_rejected;
           Alcotest.test_case "csv" `Quick test_report_csv;
           Alcotest.test_case "save csv" `Quick test_report_save_csv;
+          Alcotest.test_case "parse csv" `Quick test_report_parse_csv;
+          Alcotest.test_case "parse csv malformed" `Quick
+            test_report_parse_csv_malformed;
+          QCheck_alcotest.to_alcotest prop_csv_round_trip;
+          Alcotest.test_case "csv file round trip" `Quick
+            test_report_csv_file_round_trip;
         ] );
       ( "experiments",
         [

@@ -1,0 +1,332 @@
+(* Tests for Asf_parallel.Parallel — the deterministic domain pool — and
+   the determinism contract it gives the experiment harness (DESIGN.md,
+   "The determinism contract").
+
+   The battery pins the contract from the outside: for a spread of
+   experiments, seeds and pool widths (including a width far beyond the
+   cell count), the reports and the simulated-cycle total must be
+   bit-identical to the sequential run — also with a Txcheck checker and
+   a Faultline injector installed. The seed sweep then checks that the
+   simulated physics keeps its paper shape across seeds rather than on
+   one lucky seed. *)
+
+module Parallel = Asf_parallel.Parallel
+module Experiments = Asf_harness.Experiments
+module Report = Asf_harness.Report
+module Trace = Asf_trace.Trace
+module Check = Asf_check.Check
+module Faults = Asf_faults.Faults
+module Tm = Asf_tm_rt.Tm
+module Stats = Asf_tm_rt.Stats
+module Variant = Asf_core.Variant
+module Intset = Asf_intset.Intset
+
+(* Every test leaves the pool back at jobs = 1 even on failure. *)
+let with_pool f =
+  Fun.protect ~finally:(fun () -> Parallel.set_jobs 1) f
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_order () =
+  with_pool (fun () ->
+      let xs = List.init 100 Fun.id in
+      let expect = List.map (fun x -> x * x) xs in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "map ~jobs:%d preserves submission order" jobs)
+            expect
+            (Parallel.map ~jobs (fun x -> x * x) xs))
+        [ 1; 2; 4; 64 ])
+
+let test_jobs_exceed_work () =
+  with_pool (fun () ->
+      (* More domains than thunks: the pool must clamp, not spawn idle
+         domains or lose results. *)
+      Alcotest.(check (list int))
+        "3 thunks on a 64-wide pool" [ 0; 1; 2 ]
+        (Parallel.map ~jobs:64 Fun.id [ 0; 1; 2 ]))
+
+let test_lowest_index_exception () =
+  with_pool (fun () ->
+      let thunks =
+        Array.init 10 (fun i () ->
+            if i = 3 then failwith "boom-3"
+            else if i = 7 then failwith "boom-7"
+            else i)
+      in
+      List.iter
+        (fun jobs ->
+          match Parallel.run_thunks ~jobs thunks with
+          | _ -> Alcotest.failf "jobs=%d: expected an exception" jobs
+          | exception Failure m ->
+              (* Same exception a sequential left-to-right run surfaces
+                 first, whichever domain hit it. *)
+              Alcotest.(check string)
+                (Printf.sprintf "jobs=%d re-raises the lowest index" jobs)
+                "boom-3" m)
+        [ 1; 2; 4 ])
+
+let test_set_jobs_clamp () =
+  with_pool (fun () ->
+      Parallel.set_jobs 0;
+      Alcotest.(check int) "set_jobs 0 clamps to 1" 1 (Parallel.jobs ());
+      Parallel.set_jobs (-5);
+      Alcotest.(check int) "set_jobs -5 clamps to 1" 1 (Parallel.jobs ());
+      Parallel.set_jobs 6;
+      Alcotest.(check int) "set_jobs 6 sticks" 6 (Parallel.jobs ()))
+
+let test_trace_forces_sequential () =
+  with_pool (fun () ->
+      (* Tracer rings are ordered by host emission, so cell_map must
+         degrade to the calling domain while a tracer is installed. *)
+      let tr = Trace.create () in
+      Trace.install tr;
+      Fun.protect ~finally:Trace.uninstall (fun () ->
+          Parallel.set_jobs 4;
+          let main = (Domain.self () :> int) in
+          let domains =
+            Parallel.cell_map (fun _ -> (Domain.self () :> int)) (List.init 8 Fun.id)
+          in
+          List.iter
+            (Alcotest.(check int) "cell ran on the main domain" main)
+            domains))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism battery                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let get_exp id =
+  match Experiments.find id with
+  | Some e -> e
+  | None -> Alcotest.failf "unknown experiment %s" id
+
+(* One cold (memoisation dropped) quick run at the given pool width,
+   rendered to CSV — the same bytes the harness would write to disk. *)
+let run_exp e ~seed ~jobs =
+  Experiments.clear_cache ();
+  Parallel.set_jobs jobs;
+  Parallel.reset_sim_cycles ();
+  let reports = e.Experiments.run ~quick:true ~seed in
+  let csv = String.concat "\n" (List.map Report.to_csv reports) in
+  (csv, Parallel.sim_cycles ())
+
+let battery_ids = [ "abl-wins"; "abl-socket"; "abl-backoff"; "fig3"; "tab1" ]
+
+let test_determinism_battery () =
+  with_pool (fun () ->
+      List.iter
+        (fun id ->
+          let e = get_exp id in
+          List.iter
+            (fun seed ->
+              let base_csv, base_cycles = run_exp e ~seed ~jobs:1 in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s seed=%d produced output" id seed)
+                true
+                (String.length base_csv > 0);
+              (* 64 exceeds every quick experiment's cell count. *)
+              List.iter
+                (fun jobs ->
+                  let csv, cycles = run_exp e ~seed ~jobs in
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s seed=%d jobs=%d CSV bit-identical" id
+                       seed jobs)
+                    base_csv csv;
+                  Alcotest.(check int)
+                    (Printf.sprintf "%s seed=%d jobs=%d same simulated cycles"
+                       id seed jobs)
+                    base_cycles cycles)
+                [ 2; 4; 64 ])
+            [ 1; 7 ])
+        battery_ids)
+
+let test_determinism_fig6 () =
+  (* fig6 exercises the STAMP path and the calibration-stamp prefetch. *)
+  with_pool (fun () ->
+      let e = get_exp "fig6" in
+      let base_csv, base_cycles = run_exp e ~seed:1 ~jobs:1 in
+      let csv, cycles = run_exp e ~seed:1 ~jobs:3 in
+      Alcotest.(check string) "fig6 jobs=3 CSV bit-identical" base_csv csv;
+      Alcotest.(check int) "fig6 jobs=3 same simulated cycles" base_cycles
+        cycles)
+
+(* The contract must also hold with observability installed: per-cell
+   checkers / injectors are derived, then merged in cell order, so the
+   findings table and the injection census cannot depend on the pool
+   width. *)
+let run_checked ~jobs =
+  Experiments.clear_cache ();
+  Parallel.set_jobs jobs;
+  let chk = Check.create ~parts:[ Check.Isolation; Check.Serial; Check.Lint ] () in
+  let plan =
+    match Faults.plan_of_spec "jitter" with
+    | Ok p -> p
+    | Error m -> Alcotest.failf "faults plan: %s" m
+  in
+  let fl = Faults.create ~seed:42 plan in
+  Check.install chk;
+  Faults.install fl;
+  Fun.protect
+    ~finally:(fun () ->
+      Check.uninstall ();
+      Faults.uninstall ())
+    (fun () ->
+      let e = get_exp "abl-wins" in
+      let reports = e.Experiments.run ~quick:true ~seed:1 in
+      let csv = String.concat "\n" (List.map Report.to_csv reports) in
+      let findings = Report.to_csv (Report.of_check ~id:"chk" chk) in
+      (csv, findings, Faults.counts fl))
+
+let test_determinism_under_check_faults () =
+  with_pool (fun () ->
+      let base_csv, base_findings, base_census = run_checked ~jobs:1 in
+      Alcotest.(check bool) "census not empty under jitter plan" true
+        (List.exists (fun (_, n) -> n > 0) base_census);
+      List.iter
+        (fun jobs ->
+          let csv, findings, census = run_checked ~jobs in
+          Alcotest.(check string)
+            (Printf.sprintf "jobs=%d reports identical under check+faults" jobs)
+            base_csv csv;
+          Alcotest.(check string)
+            (Printf.sprintf "jobs=%d findings table identical" jobs)
+            base_findings findings;
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "jobs=%d injection census identical" jobs)
+            base_census census)
+        [ 2; 5 ])
+
+(* ------------------------------------------------------------------ *)
+(* Seed-sweep sanity                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_seeds = [ 1; 2; 3; 4; 5 ]
+
+let tm_cfg mode ~threads ~seed =
+  { (Tm.default_config mode ~n_cores:threads) with Tm.seed }
+
+let spec_rate (r : Intset.result) =
+  let c = Stats.commits r.Intset.stats
+  and s = Stats.serial_commits r.Intset.stats in
+  float_of_int (c - s) /. float_of_int (max 1 c)
+
+(* The long linked list (~510 nodes walked per lookup) blows the LLB-8
+   capacity on nearly every attempt, forcing serial execution; LLB-256
+   commits a large fraction speculatively (paper Fig. 5/8 shape). *)
+let test_sweep_capacity_spec_rate () =
+  List.iter
+    (fun seed ->
+      let c =
+        { (Intset.default_cfg Intset.Linked_list) with
+          Intset.range = 1020;
+          init_size = Some 510;
+          update_pct = 20;
+          txns_per_thread = 150;
+        }
+      in
+      let run variant =
+        Intset.run (tm_cfg (Tm.Asf_mode variant) ~threads:8 ~seed) ~threads:8 c
+      in
+      let r8 = spec_rate (run Variant.llb8)
+      and r256 = spec_rate (run Variant.llb256) in
+      if not (r256 > r8 +. 0.1) then
+        Alcotest.failf
+          "seed %d: LLB-256 speculative commit rate %.3f not well above \
+           LLB-8's %.3f on the large-read-set list"
+          seed r256 r8;
+      if r8 > 0.2 then
+        Alcotest.failf
+          "seed %d: LLB-8 speculative commit rate %.3f — expected the large \
+           read set to exceed 8 lines almost always"
+          seed r8)
+    sweep_seeds
+
+(* Same LLB, small footprint: the hash set's probe touches a handful of
+   lines, so LLB-8 stops serialising (capacity, not contention, was the
+   limiter above). *)
+let test_sweep_capacity_footprint () =
+  List.iter
+    (fun seed ->
+      let hs =
+        let c =
+          { (Intset.default_cfg Intset.Hash_set) with
+            Intset.range = 256;
+            update_pct = 20;
+            txns_per_thread = 300;
+          }
+        in
+        Intset.run (tm_cfg (Tm.Asf_mode Variant.llb8) ~threads:8 ~seed) ~threads:8 c
+      in
+      let r = spec_rate hs in
+      if r < 0.9 then
+        Alcotest.failf
+          "seed %d: LLB-8 speculative commit rate %.3f on the small-footprint \
+           hash set — capacity should not bite here"
+          seed r)
+    sweep_seeds
+
+(* Contention shape: a read-only workload has nothing to conflict on;
+   turning every transaction into an update must create aborts. *)
+let test_sweep_contention_aborts () =
+  List.iter
+    (fun seed ->
+      let run upd =
+        let c =
+          { (Intset.default_cfg Intset.Hash_set) with
+            Intset.range = 256;
+            update_pct = upd;
+            txns_per_thread = 300;
+          }
+        in
+        Intset.run
+          (tm_cfg (Tm.Asf_mode Variant.llb256) ~threads:8 ~seed)
+          ~threads:8 c
+      in
+      let ab upd = Stats.total_aborts (run upd).Intset.stats in
+      let a0 = ab 0 and a100 = ab 100 in
+      if a0 <> 0 then
+        Alcotest.failf "seed %d: %d aborts on a read-only workload" seed a0;
+      if a100 <= a0 then
+        Alcotest.failf
+          "seed %d: 100%% updates produced %d aborts, read-only %d — \
+           contention should create aborts"
+          seed a100 a0)
+    sweep_seeds
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_map_order;
+          Alcotest.test_case "jobs exceed work" `Quick test_jobs_exceed_work;
+          Alcotest.test_case "lowest-index exception" `Quick
+            test_lowest_index_exception;
+          Alcotest.test_case "set_jobs clamps" `Quick test_set_jobs_clamp;
+          Alcotest.test_case "trace forces sequential" `Quick
+            test_trace_forces_sequential;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "battery: experiments x seeds x jobs" `Slow
+            test_determinism_battery;
+          Alcotest.test_case "fig6 (stamp prefetch)" `Slow
+            test_determinism_fig6;
+          Alcotest.test_case "under checker and fault injection" `Slow
+            test_determinism_under_check_faults;
+        ] );
+      ( "seed-sweep",
+        [
+          Alcotest.test_case "capacity: spec commit rate by LLB size" `Slow
+            test_sweep_capacity_spec_rate;
+          Alcotest.test_case "capacity: footprint releases LLB-8" `Slow
+            test_sweep_capacity_footprint;
+          Alcotest.test_case "contention: updates create aborts" `Slow
+            test_sweep_contention_aborts;
+        ] );
+    ]
