@@ -39,6 +39,8 @@ let csv_dir = ref "results"
 
 let skip_bechamel = ref false
 
+let only = ref ""
+
 let () =
   Arg.parse
     [
@@ -52,10 +54,31 @@ let () =
         "FILE Benchmark JSON output (default BENCH_asf.json)" );
       ("--csv", Arg.Set_string csv_dir, "DIR CSV output directory (default results)");
       ("--skip-bechamel", Arg.Set skip_bechamel, " Skip the Bechamel suite");
+      ( "--only",
+        Arg.Set_string only,
+        "IDS Comma-separated experiment ids to run (default: all)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "main.exe [--quick] [--seed N] [--jobs N] [--out FILE] [--csv DIR] \
-     [--skip-bechamel]"
+     [--skip-bechamel] [--only IDS]"
+
+(* Resolve --only against the experiment registry; an unknown id is a
+   usage error, not a silently empty run. *)
+let selected_experiments () =
+  if !only = "" then Experiments.all
+  else begin
+    let ids = String.split_on_char ',' !only |> List.filter (fun s -> s <> "") in
+    let known = List.map (fun e -> e.Experiments.id) Experiments.all in
+    List.iter
+      (fun id ->
+        if not (List.mem id known) then begin
+          Printf.eprintf "bench: unknown experiment id %S (known: %s)\n%!" id
+            (String.concat ", " known);
+          exit 2
+        end)
+      ids;
+    List.filter (fun e -> List.mem e.Experiments.id ids) Experiments.all
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate + time                                            *)
@@ -66,8 +89,14 @@ type timing = {
   seq_seconds : float;
   par_seconds : float;
   sim_cycles : int;
+  fused : int;  (** elapses served by the fusion fast path (seq pass) *)
+  scheduled : int;  (** elapses that went through the heap (seq pass) *)
   deterministic : bool;
 }
+
+let fused_ratio t =
+  let total = t.fused + t.scheduled in
+  if total = 0 then 0.0 else float_of_int t.fused /. float_of_int total
 
 (* One timed cold-cache regeneration at the given pool width. *)
 let timed_run e ~jobs =
@@ -77,7 +106,7 @@ let timed_run e ~jobs =
   let t0 = Unix.gettimeofday () in
   let reports = e.Experiments.run ~quick:!quick ~seed:!seed in
   let dt = Unix.gettimeofday () -. t0 in
-  (reports, dt, Parallel.sim_cycles ())
+  (reports, dt, Parallel.sim_cycles (), Parallel.fused_scheduled ())
 
 let part1 () =
   print_endline "=============================================================";
@@ -94,8 +123,12 @@ let part1 () =
     List.map
       (fun e ->
         let id = e.Experiments.id in
-        let seq_reports, seq_seconds, seq_cycles = timed_run e ~jobs:1 in
-        let par_reports, par_seconds, par_cycles = timed_run e ~jobs:par_jobs in
+        let seq_reports, seq_seconds, seq_cycles, (fused, scheduled) =
+          timed_run e ~jobs:1
+        in
+        let par_reports, par_seconds, par_cycles, _ =
+          timed_run e ~jobs:par_jobs
+        in
         let deterministic =
           seq_reports = par_reports && seq_cycles = par_cycles
         in
@@ -113,14 +146,29 @@ let part1 () =
                 Printf.eprintf "ERROR: cannot write %s/%s.csv: %s\n%!" !csv_dir
                   r.Report.id m)
           par_reports;
+        let t =
+          {
+            id;
+            seq_seconds;
+            par_seconds;
+            sim_cycles = seq_cycles;
+            fused;
+            scheduled;
+            deterministic;
+          }
+        in
         Printf.printf
-          "[%s seq %.1fs, jobs=%d %.1fs (x%.2f), %d sim cycles, %s]\n%!" id
-          seq_seconds par_jobs par_seconds
+          "[%s seq %.1fs (%.0f cyc/s), jobs=%d %.1fs (x%.2f), %d sim cycles, \
+           fused %.1f%%, %s]\n%!"
+          id seq_seconds
+          (float_of_int seq_cycles /. Float.max 1e-9 seq_seconds)
+          par_jobs par_seconds
           (seq_seconds /. Float.max 1e-9 par_seconds)
           seq_cycles
+          (100.0 *. fused_ratio t)
           (if deterministic then "bit-identical" else "MISMATCH");
-        { id; seq_seconds; par_seconds; sim_cycles = seq_cycles; deterministic })
-      Experiments.all
+        t)
+      (selected_experiments ())
   in
   (timings, par_jobs, !failures)
 
@@ -147,13 +195,15 @@ let json_of_timings timings ~par_jobs =
         (Printf.sprintf
            "    {\"id\": %S, \"seq_seconds\": %.3f, \"par_seconds\": %.3f, \
             \"speedup\": %.3f, \"sim_cycles\": %d, \"seq_cycles_per_sec\": \
-            %.0f, \"par_cycles_per_sec\": %.0f, \"deterministic\": %b}%s\n"
+            %.0f, \"par_cycles_per_sec\": %.0f, \"fused_elapses\": %d, \
+            \"scheduled_elapses\": %d, \"fused_ratio\": %.4f, \
+            \"deterministic\": %b}%s\n"
            t.id t.seq_seconds t.par_seconds
            (t.seq_seconds /. Float.max 1e-9 t.par_seconds)
            t.sim_cycles
            (float_of_int t.sim_cycles /. Float.max 1e-9 t.seq_seconds)
            (float_of_int t.sim_cycles /. Float.max 1e-9 t.par_seconds)
-           t.deterministic
+           t.fused t.scheduled (fused_ratio t) t.deterministic
            (if i = List.length timings - 1 then "" else ",")))
     timings;
   Buffer.add_string buf "  ],\n";
@@ -242,7 +292,7 @@ let bechamel_tests =
            Experiments.clear_cache ();
            ignore (e.Experiments.run ~quick:true ~seed:!seed)))
   in
-  Test.make_grouped ~name:"regen" (List.map test_of Experiments.all)
+  Test.make_grouped ~name:"regen" (List.map test_of (selected_experiments ()))
 
 let part2 () =
   print_endline "";

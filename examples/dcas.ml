@@ -47,7 +47,7 @@ let dcas asf ~core ~mem1 ~mem2 ~cmp1 ~cmp2 ~new1 ~new2 =
 
 let () =
   let n_cores = 4 and moves = 200 in
-  let engine = Engine.create ~n_cores in
+  let engine = Engine.create ~n_cores () in
   let mem = Memsys.create Params.barcelona engine in
   let asf = Asf.create mem Variant.llb8 in
   (* Two counters on distinct cache lines. *)

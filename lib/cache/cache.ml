@@ -33,17 +33,46 @@ let assoc t = t.assoc
 let set_of t key = key land (t.n_sets - 1)
 
 (* Index of the way holding [key], or -1. The allocation-free primitive
-   the per-access hot path uses; [find_way]/[mem]/[touch] are wrappers. *)
+   the per-access hot path uses; [find_way]/[mem]/[touch] are wrappers.
+   Written as a while loop over hoisted fields: a local [let rec] would
+   close over [base]/[key] and cost a closure allocation per probe — the
+   dominant allocation of the whole access path, since each access probes
+   up to six caches. [unsafe_get] is bounded by [set_of]'s mask and the
+   fixed associativity. *)
 let find_way_idx t key =
   let base = set_of t key * t.assoc in
-  let rec go w =
-    if w = t.assoc then -1
-    else if t.tags.(base + w) = key then base + w
-    else go (w + 1)
-  in
-  go 0
+  let tags = t.tags in
+  let assoc = t.assoc in
+  let res = ref (-1) in
+  let w = ref 0 in
+  while !res < 0 && !w < assoc do
+    if Array.unsafe_get tags (base + !w) = key then res := base + !w;
+    incr w
+  done;
+  !res
 
 let mem t key = find_way_idx t key >= 0
+
+(* First invalid way of the set, else its least-recently-stamped way —
+   a loop over hoisted fields for the same no-closure reason as
+   [find_way_idx]. *)
+let pick_victim t base =
+  let tags = t.tags and stamps = t.stamps in
+  let assoc = t.assoc in
+  let best = ref base in
+  let w = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !w < assoc do
+    let i = base + !w in
+    if Array.unsafe_get tags i = -1 then begin
+      best := i;
+      stop := true
+    end
+    else if Array.unsafe_get stamps i < Array.unsafe_get stamps !best then
+      best := i;
+    incr w
+  done;
+  !best
 
 (* Access without boxing the outcome: on a hit just refreshes LRU; on a
    miss fills the entry. Returns the evicted tag, or -1 when nothing was
@@ -58,20 +87,10 @@ let touch_evict t key =
   else begin
     let base = set_of t key * t.assoc in
     (* Pick an invalid way, else the LRU way. *)
-    let victim = ref base in
-    let found_invalid = ref false in
-    for w = 0 to t.assoc - 1 do
-      let i = base + w in
-      if not !found_invalid then
-        if t.tags.(i) = -1 then begin
-          victim := i;
-          found_invalid := true
-        end
-        else if t.stamps.(i) < t.stamps.(!victim) then victim := i
-    done;
-    let evicted = if !found_invalid then -1 else t.tags.(!victim) in
-    t.tags.(!victim) <- key;
-    t.stamps.(!victim) <- t.clock;
+    let victim = pick_victim t base in
+    let evicted = t.tags.(victim) in
+    t.tags.(victim) <- key;
+    t.stamps.(victim) <- t.clock;
     evicted
   end
 

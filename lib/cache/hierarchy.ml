@@ -21,6 +21,12 @@ type t = {
   l1s : level_stats array;
   l2s : level_stats array;
   l3s : level_stats;
+  (* L2 misses served by a cache-to-cache forward from a remote dirty
+     copy: these bypass the L3 lookup entirely, so they belong to neither
+     [l3s.hits] nor [l3s.misses]. Counting them separately keeps the
+     read-path books balanced: l3 hits + l3 misses + forwards = l2
+     misses. *)
+  mutable forwards : int;
   mutable invalidations : int;
   mutable cross_socket_probes : int;
 }
@@ -51,6 +57,7 @@ let create (params : Params.t) ~n_cores =
     l1s = Array.init n_cores (fun _ -> fresh_stats ());
     l2s = Array.init n_cores (fun _ -> fresh_stats ());
     l3s = fresh_stats ();
+    forwards = 0;
     invalidations = 0;
     cross_socket_probes = 0;
   }
@@ -114,7 +121,10 @@ let access t ~core ~line ~write =
       end
       else begin
         t.l2s.(core).misses <- t.l2s.(core).misses + 1;
-        if remote_dirty then p.l3_latency (* cache-to-cache forward *)
+        if remote_dirty then begin
+          t.forwards <- t.forwards + 1;
+          p.l3_latency (* cache-to-cache forward *)
+        end
         else if in_l3 then begin
           t.l3s.hits <- t.l3s.hits + 1;
           p.l3_latency
@@ -168,6 +178,8 @@ let l1_stats t ~core = t.l1s.(core)
 let l2_stats t ~core = t.l2s.(core)
 
 let l3_stats t = t.l3s
+
+let forwards t = t.forwards
 
 let invalidations t = t.invalidations
 

@@ -34,6 +34,12 @@ val l2_stats : t -> core:int -> level_stats
 
 val l3_stats : t -> level_stats
 
+val forwards : t -> int
+(** L2 misses served by a cache-to-cache forward from a remote dirty
+    copy. Such an access never consults the L3, so it appears in neither
+    {!l3_stats} bucket; across all cores,
+    [l3 hits + l3 misses + forwards = total l2 misses]. *)
+
 val invalidations : t -> int
 (** Total remote invalidation probes sent (diagnostics). *)
 

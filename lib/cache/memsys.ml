@@ -22,7 +22,16 @@ type t = {
   mutable loads : int;
   mutable stores : int;
   mutable faults_serviced : int;
+  (* Memoised OOO scaling: [scale] runs once per access, and the raw
+     latencies it sees are small sums of fixed machine parameters, so a
+     lookup table removes the per-access float multiply/round. *)
+  scale_tab : int array;
 }
+
+let scale_raw (params : Params.t) latency =
+  max 1 (int_of_float ((float_of_int latency *. params.ooo_factor) +. 0.5))
+
+let scale_tab_size = 1024
 
 let create params engine =
   let n_cores = Engine.n_cores engine in
@@ -40,6 +49,7 @@ let create params engine =
     loads = 0;
     stores = 0;
     faults_serviced = 0;
+    scale_tab = Array.init scale_tab_size (scale_raw params);
   }
 
 let params t = t.params
@@ -63,7 +73,8 @@ let set_fault_hook t f = t.fault_hook <- Some f
 let set_evict_hook t ~core f = Hierarchy.set_evict_hook t.hier ~core f
 
 let scale t latency =
-  max 1 (int_of_float ((float_of_int latency *. t.params.ooo_factor) +. 0.5))
+  if latency < scale_tab_size then t.scale_tab.(latency)
+  else scale_raw t.params latency
 
 let deliver_fault t ~core fault =
   match t.fault_hook with Some h -> h ~core fault | None -> ()

@@ -110,27 +110,33 @@ let region_conflicts t r ~line ~write =
   in_write || (write && in_read)
 
 (* Requester-wins: any conflicting probe dooms the region that already
-   holds the line. *)
+   holds the line. Plain index loops, not [Array.iteri]: this runs once
+   per memory access, and the iteration closure (capturing the probe
+   parameters) would be the access path's last per-access allocation. *)
 let resolve t ~requester ~line ~write =
   if t.resolve_conflicts then
-  Array.iteri
-    (fun core r ->
-      if core <> requester && r.active && r.doomed = None then
-        if region_conflicts t r ~line ~write then begin
-          doom ~line t core Abort.Contention;
-          Trace.emit t.tracer ~core
-            ~cycle:(Engine.core_time t.engine core)
-            (Trace.Probe_rollback { requester; line_addr = Addr.line_base line })
-        end)
-    t.regions
+    for core = 0 to Array.length t.regions - 1 do
+      let r = Array.unsafe_get t.regions core in
+      if
+        core <> requester && r.active && r.doomed = None
+        && region_conflicts t r ~line ~write
+      then begin
+        doom ~line t core Abort.Contention;
+        Trace.emit t.tracer ~core
+          ~cycle:(Engine.core_time t.engine core)
+          (Trace.Probe_rollback { requester; line_addr = Addr.line_base line })
+      end
+    done
 
 let any_remote_conflict t ~requester ~line ~write =
   let found = ref false in
-  Array.iteri
-    (fun core r ->
-      if core <> requester && r.active && r.doomed = None then
-        if region_conflicts t r ~line ~write then found := true)
-    t.regions;
+  for core = 0 to Array.length t.regions - 1 do
+    let r = Array.unsafe_get t.regions core in
+    if
+      core <> requester && r.active && r.doomed = None
+      && region_conflicts t r ~line ~write
+    then found := true
+  done;
   !found
 
 (* Deliver an abort to the calling core: reason from the doomed flag (the
@@ -258,12 +264,16 @@ let create ?(costs = default_costs) ?(requester_wins = true)
       end);
   t
 
-let speculate t ~core =
+(* [extra] lets the caller fold its own back-to-back charge (the TM ABI's
+   setjmp/descriptor cost) into the operation's single [elapse], so region
+   entry and exit each cost one scheduling point instead of two. *)
+let speculate ?(extra = 0) t ~core =
   let r = region t core in
   if r.active then begin
     check t core;
     if r.nesting >= max_nesting then self_abort t ~core Abort.Disallowed;
-    r.nesting <- r.nesting + 1
+    r.nesting <- r.nesting + 1;
+    if extra > 0 then Engine.elapse extra
   end
   else begin
     r.active <- true;
@@ -283,13 +293,16 @@ let speculate t ~core =
     end;
     t.speculates <- t.speculates + 1;
     notify t ~core Obs_speculate;
-    Engine.elapse t.costs.speculate_cycles
+    Engine.elapse (t.costs.speculate_cycles + extra)
   end
 
-let commit t ~core =
+let commit ?(extra = 0) t ~core =
   check t core;
   let r = region t core in
-  if r.nesting > 1 then r.nesting <- r.nesting - 1
+  if r.nesting > 1 then begin
+    r.nesting <- r.nesting - 1;
+    if extra > 0 then Engine.elapse extra
+  end
   else begin
     (* Outermost commit: speculative values in RAM become authoritative;
        flash-clear the protected sets. *)
@@ -299,7 +312,7 @@ let commit t ~core =
     r.nesting <- 0;
     t.commits <- t.commits + 1;
     notify t ~core Obs_commit;
-    Engine.elapse t.costs.commit_cycles
+    Engine.elapse (t.costs.commit_cycles + extra)
   end
 
 let abort_explicit t ~core ~code = self_abort t ~core (Abort.Explicit code)

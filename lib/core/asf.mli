@@ -74,14 +74,18 @@ val max_nesting : int
 
 (** {1 The seven instructions} *)
 
-val speculate : t -> core:int -> unit
+val speculate : ?extra:int -> t -> core:int -> unit
 (** Enter (or, dynamically nested, deepen) a speculative region. Nesting is
-    flat: inner regions extend the outermost one.
+    flat: inner regions extend the outermost one. [extra] cycles of caller
+    bookkeeping (the TM ABI entry cost) are folded into the instruction's
+    own latency charge — one scheduling point instead of two back-to-back
+    [elapse]s.
     @raise Aborted with [Disallowed] beyond {!max_nesting}. *)
 
-val commit : t -> core:int -> unit
+val commit : ?extra:int -> t -> core:int -> unit
 (** Leave the current nesting level; at the outermost level, atomically
     publish all speculative stores and flash-clear the protected sets.
+    [extra] is folded into the commit latency as in {!speculate}.
     @raise Aborted if the region was doomed in the meantime. *)
 
 val abort_explicit : t -> core:int -> code:int -> 'a

@@ -4,6 +4,18 @@ type task =
   | Start of int * (unit -> unit)
   | Resume of int * (unit, unit) Effect.Deep.continuation
 
+(* Domain-local accounting shared by every engine created on the domain;
+   the harness reads deltas around each experiment cell to price host
+   time in simulated cycles/sec and to report the fused-elapse ratio
+   (BENCH_asf.json). An engine always runs on the domain that created
+   it, so caching the record at [create] keeps the hot path to loads and
+   adds. *)
+type counters = {
+  mutable c_retired : int;  (* simulated cycles *)
+  mutable c_fused : int;  (* Elapse handled on the fusion fast path *)
+  mutable c_scheduled : int;  (* Elapse through the heap round-trip *)
+}
+
 type t = {
   n_cores : int;
   core_time : int array;
@@ -12,22 +24,36 @@ type t = {
   mutable live : int;
   mutable current : int;
   mutable events : int;
+  (* Ablation for the fusion-equivalence battery: [true] forces every
+     Elapse through the enqueue/pop round-trip (the reference
+     scheduler). *)
+  always_schedule : bool;
+  mutable fused : int;
+  mutable scheduled : int;
+  mutable heap_hwm : int;
   tracer : Trace.t;
-  retired : int ref;  (* the creating domain's retired-cycle counter *)
+  counters : counters;
 }
 
 type _ Effect.t += Elapse : int -> unit Effect.t
 
-(* Every cycle any engine on this domain simulates lands in one domain-
-   local counter; the harness reads deltas around each experiment cell to
-   price host time in simulated cycles/sec (BENCH_asf.json). An engine
-   always runs on the domain that created it, so caching the ref at
-   [create] keeps the hot path to a load and an add. *)
-let retired_key = Domain.DLS.new_key (fun () -> ref 0)
+let counters_key =
+  Domain.DLS.new_key (fun () -> { c_retired = 0; c_fused = 0; c_scheduled = 0 })
 
-let cycles_retired () = !(Domain.DLS.get retired_key)
+let cycles_retired () = (Domain.DLS.get counters_key).c_retired
 
-let create ~n_cores =
+let sched_counters () =
+  let c = Domain.DLS.get counters_key in
+  (c.c_fused, c.c_scheduled)
+
+(* The engine currently executing a thread on this domain, consulted by
+   {!elapse} for the fusion fast path. [run] installs the engine and
+   restores the previous occupant on exit, so nested runs (an engine
+   thread driving another engine) stay correctly routed. *)
+let running_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let create ?(always_schedule = false) ~n_cores () =
   if n_cores <= 0 then invalid_arg "Engine.create: n_cores must be positive";
   {
     n_cores;
@@ -37,15 +63,21 @@ let create ~n_cores =
     live = 0;
     current = 0;
     events = 0;
+    always_schedule;
+    fused = 0;
+    scheduled = 0;
+    heap_hwm = 0;
     tracer = Trace.installed ();
-    retired = Domain.DLS.get retired_key;
+    counters = Domain.DLS.get counters_key;
   }
 
 let n_cores t = t.n_cores
 
 let enqueue t ~time task =
   t.seq <- t.seq + 1;
-  Pqueue.push t.heap ~time ~seq:t.seq task
+  Pqueue.push t.heap ~time ~seq:t.seq task;
+  let len = Pqueue.length t.heap in
+  if len > t.heap_hwm then t.heap_hwm <- len
 
 let spawn t ~core f =
   if core < 0 || core >= t.n_cores then invalid_arg "Engine.spawn: bad core";
@@ -53,7 +85,35 @@ let spawn t ~core f =
   Trace.emit t.tracer ~core ~cycle:t.core_time.(core) Trace.Thread_spawn;
   enqueue t ~time:t.core_time.(core) (Start (core, f))
 
-let elapse n = Effect.perform (Elapse n)
+(* Fusion fast path (the classic discrete-event "lazy reschedule"): the
+   thread performing [elapse] is by construction the task the scheduler
+   popped last, so its resumption would carry the largest sequence number
+   in the system. If its advanced time is strictly earlier than the heap
+   minimum (or the heap is empty), the scheduler round-trip would pop
+   that resumption straight back — enqueue, sift, capture and continue
+   would change nothing observable. In that case we advance the clock in
+   place and return without performing the effect at all, replaying the
+   round-trip's side effects (seq and event counts, the Thread_resume
+   trace event) so a fused run is indistinguishable from a scheduled one.
+   On a time tie the heap entry's smaller sequence number wins, so the
+   strict [<] is exactly the fusion-legality condition. *)
+let elapse n =
+  match !(Domain.DLS.get running_key) with
+  | Some t when not t.always_schedule ->
+      if n < 0 then invalid_arg "Engine.elapse: negative duration";
+      let core = t.current in
+      let nt = t.core_time.(core) + n in
+      if nt < Pqueue.min_time t.heap then begin
+        t.core_time.(core) <- nt;
+        t.counters.c_retired <- t.counters.c_retired + n;
+        t.counters.c_fused <- t.counters.c_fused + 1;
+        t.seq <- t.seq + 1;
+        t.events <- t.events + 1;
+        t.fused <- t.fused + 1;
+        Trace.emit t.tracer ~core ~cycle:nt Trace.Thread_resume
+      end
+      else Effect.perform (Elapse n)
+  | _ -> Effect.perform (Elapse n)
 
 (* Runs thread [f] under the scheduling handler. The handler suspends the
    thread at each [Elapse] and re-enqueues its continuation at the advanced
@@ -74,25 +134,34 @@ let exec t core f =
                 (fun (k : (a, _) Effect.Deep.continuation) ->
                   if n < 0 then invalid_arg "Engine.elapse: negative duration";
                   t.core_time.(core) <- t.core_time.(core) + n;
-                  t.retired := !(t.retired) + n;
+                  t.counters.c_retired <- t.counters.c_retired + n;
                   enqueue t ~time:t.core_time.(core) (Resume (core, k)))
           | _ -> None);
     }
 
 let run t =
-  while not (Pqueue.is_empty t.heap) do
-    let time, _seq, task = Pqueue.pop t.heap in
-    t.events <- t.events + 1;
-    match task with
-    | Start (core, f) ->
-        t.current <- core;
-        if time > t.core_time.(core) then t.core_time.(core) <- time;
-        exec t core f
-    | Resume (core, k) ->
-        t.current <- core;
-        Trace.emit t.tracer ~core ~cycle:time Trace.Thread_resume;
-        Effect.Deep.continue k ()
-  done
+  let slot = Domain.DLS.get running_key in
+  let saved = !slot in
+  slot := Some t;
+  Fun.protect
+    ~finally:(fun () -> slot := saved)
+    (fun () ->
+      while not (Pqueue.is_empty t.heap) do
+        let time = Pqueue.min_time t.heap in
+        let task = Pqueue.drop_min t.heap in
+        t.events <- t.events + 1;
+        match task with
+        | Start (core, f) ->
+            t.current <- core;
+            if time > t.core_time.(core) then t.core_time.(core) <- time;
+            exec t core f
+        | Resume (core, k) ->
+            t.current <- core;
+            t.scheduled <- t.scheduled + 1;
+            t.counters.c_scheduled <- t.counters.c_scheduled + 1;
+            Trace.emit t.tracer ~core ~cycle:time Trace.Thread_resume;
+            Effect.Deep.continue k ()
+      done)
 
 let core_time t core = t.core_time.(core)
 
@@ -105,3 +174,9 @@ let max_time t = Array.fold_left max 0 t.core_time
 let events t = t.events
 
 let live_threads t = t.live
+
+let fused_elapses t = t.fused
+
+let scheduled_elapses t = t.scheduled
+
+let heap_high_water t = t.heap_hwm

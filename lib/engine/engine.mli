@@ -9,6 +9,13 @@
     atomic with respect to other threads (the model's analogue of a single
     instruction retiring).
 
+    Scheduling fast path: when the elapsing thread would be popped right
+    back (its advanced time is strictly earlier than every queued task),
+    {!elapse} advances the clock in place — no effect capture, no heap
+    round-trip. Fusion is observationally equivalent to scheduling (same
+    (time, seq) total order, same counters and trace stream); see
+    DESIGN.md, "Engine scheduling and the fusion fast path".
+
     Timing model: an operation takes effect at the moment the thread executes
     it and its latency is charged afterwards with [elapse]. This is the
     first-order, in-order approximation of PTLsim's out-of-order core
@@ -16,8 +23,11 @@
 
 type t
 
-val create : n_cores:int -> t
-(** A fresh engine with [n_cores] cores, all clocks at cycle 0. *)
+val create : ?always_schedule:bool -> n_cores:int -> unit -> t
+(** A fresh engine with [n_cores] cores, all clocks at cycle 0.
+    [always_schedule] (default [false]) disables the fusion fast path so
+    every [elapse] takes the enqueue/pop round-trip — the reference
+    scheduler the equivalence battery compares against. *)
 
 val n_cores : t -> int
 
@@ -49,11 +59,26 @@ val max_time : t -> int
     simulated execution. *)
 
 val events : t -> int
-(** Number of scheduling events processed so far (for diagnostics). *)
+(** Number of scheduling events processed so far — fused elapses count
+    exactly like their scheduled equivalents (for diagnostics). *)
 
 val live_threads : t -> int
+
+val fused_elapses : t -> int
+(** Elapses this engine handled on the fusion fast path. *)
+
+val scheduled_elapses : t -> int
+(** Elapses this engine sent through the heap round-trip. *)
+
+val heap_high_water : t -> int
+(** Largest number of tasks ever queued at once in this engine's heap. *)
 
 val cycles_retired : unit -> int
 (** Total cycles simulated by every engine created on the calling domain
     (a domain-local counter; read deltas around a run to price host time
     in simulated cycles). *)
+
+val sched_counters : unit -> int * int
+(** [(fused, scheduled)] elapse totals over every engine created on the
+    calling domain — the domain-local companion of {!cycles_retired},
+    harvested per experiment cell for the benchmark's fused ratio. *)

@@ -1,69 +1,108 @@
-type 'a entry = { time : int; seq : int; v : 'a }
+(* Structure-of-arrays binary min-heap: the (time, seq) keys live in two
+   unboxed int arrays and the payloads in a parallel value array, so a
+   push/pop cycle allocates nothing (the previous representation boxed a
+   3-field entry record per push) and key comparisons never chase a
+   pointer. Sifting moves a hole instead of swapping: each level costs
+   three array writes rather than a full element exchange. *)
 
-type 'a t = { mutable a : 'a entry array; mutable len : int }
+type 'a t = {
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+  mutable len : int;
+}
 
-let create () = { a = [||]; len = 0 }
+let create () = { times = [||]; seqs = [||]; vals = [||]; len = 0 }
 
 let is_empty q = q.len = 0
 
 let length q = q.len
 
-let less e1 e2 = e1.time < e2.time || (e1.time = e2.time && e1.seq < e2.seq)
-
-let grow q e =
-  let cap = Array.length q.a in
+(* [v] seeds the value array on first growth — 'a has no dummy element.
+   Popped slots beyond [len] retain their last value (exactly as the
+   boxed representation retained popped entries); the scheduler reuses
+   slots far too quickly for that to matter. *)
+let grow q v =
+  let cap = Array.length q.times in
   if q.len = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let na = Array.make ncap e in
-    Array.blit q.a 0 na 0 q.len;
-    q.a <- na
+    let nt = Array.make ncap 0 and ns = Array.make ncap 0 in
+    let nv = Array.make ncap v in
+    Array.blit q.times 0 nt 0 q.len;
+    Array.blit q.seqs 0 ns 0 q.len;
+    Array.blit q.vals 0 nv 0 q.len;
+    q.times <- nt;
+    q.seqs <- ns;
+    q.vals <- nv
   end
 
 let push q ~time ~seq v =
-  let e = { time; seq; v } in
-  grow q e;
-  q.a.(q.len) <- e;
+  grow q v;
+  let ts = q.times and ss = q.seqs and vs = q.vals in
+  (* Sift the hole up from the new leaf. *)
+  let i = ref q.len in
   q.len <- q.len + 1;
-  (* Sift up. *)
-  let i = ref (q.len - 1) in
-  while
-    !i > 0
-    &&
+  let continue = ref true in
+  while !continue && !i > 0 do
     let p = (!i - 1) / 2 in
-    less q.a.(!i) q.a.(p)
-  do
-    let p = (!i - 1) / 2 in
-    let tmp = q.a.(p) in
-    q.a.(p) <- q.a.(!i);
-    q.a.(!i) <- tmp;
-    i := p
-  done
+    if time < ts.(p) || (time = ts.(p) && seq < ss.(p)) then begin
+      ts.(!i) <- ts.(p);
+      ss.(!i) <- ss.(p);
+      vs.(!i) <- vs.(p);
+      i := p
+    end
+    else continue := false
+  done;
+  ts.(!i) <- time;
+  ss.(!i) <- seq;
+  vs.(!i) <- v
 
-let pop q =
+let min_time q = if q.len = 0 then max_int else q.times.(0)
+
+let peek_time q = if q.len = 0 then None else Some q.times.(0)
+
+let peek_key q = if q.len = 0 then None else Some (q.times.(0), q.seqs.(0))
+
+let drop_min q =
   if q.len = 0 then invalid_arg "Pqueue.pop: empty";
-  let top = q.a.(0) in
-  q.len <- q.len - 1;
-  if q.len > 0 then begin
-    q.a.(0) <- q.a.(q.len);
-    (* Sift down. *)
+  let top = q.vals.(0) in
+  let n = q.len - 1 in
+  q.len <- n;
+  if n > 0 then begin
+    let ts = q.times and ss = q.seqs and vs = q.vals in
+    (* The displaced last element sifts down as a hole from the root. *)
+    let time = ts.(n) and seq = ss.(n) and v = vs.(n) in
     let i = ref 0 in
     let continue = ref true in
     while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < q.len && less q.a.(l) q.a.(!smallest) then smallest := l;
-      if r < q.len && less q.a.(r) q.a.(!smallest) then smallest := r;
-      if !smallest <> !i then begin
-        let tmp = q.a.(!smallest) in
-        q.a.(!smallest) <- q.a.(!i);
-        q.a.(!i) <- tmp;
-        i := !smallest
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if r < n && (ts.(r) < ts.(l) || (ts.(r) = ts.(l) && ss.(r) < ss.(l)))
+          then r
+          else l
+        in
+        if ts.(c) < time || (ts.(c) = time && ss.(c) < seq) then begin
+          ts.(!i) <- ts.(c);
+          ss.(!i) <- ss.(c);
+          vs.(!i) <- vs.(c);
+          i := c
+        end
+        else continue := false
       end
-      else continue := false
-    done
+    done;
+    ts.(!i) <- time;
+    ss.(!i) <- seq;
+    vs.(!i) <- v
   end;
-  (top.time, top.seq, top.v)
+  top
 
-let peek_time q = if q.len = 0 then None else Some q.a.(0).time
+let pop q =
+  if q.len = 0 then invalid_arg "Pqueue.pop: empty";
+  let time = q.times.(0) and seq = q.seqs.(0) in
+  let v = drop_min q in
+  (time, seq, v)
 
 let clear q = q.len <- 0

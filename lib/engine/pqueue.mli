@@ -3,7 +3,11 @@
     Elements carry two integer keys compared lexicographically: the primary
     key is the event time in cycles, the secondary key a monotonically
     increasing sequence number that makes the schedule deterministic (FIFO
-    among simultaneous events). *)
+    among simultaneous events).
+
+    The representation is structure-of-arrays — keys in unboxed int
+    arrays, payloads in a parallel value array — so steady-state push/pop
+    traffic allocates nothing. *)
 
 type 'a t
 
@@ -18,6 +22,20 @@ val push : 'a t -> time:int -> seq:int -> 'a -> unit
 val pop : 'a t -> int * int * 'a
 (** Removes and returns the minimum element as [(time, seq, v)].
     @raise Invalid_argument if the queue is empty. *)
+
+val drop_min : 'a t -> 'a
+(** Removes and returns only the minimum element's payload — the
+    allocation-free [pop] used by the scheduler hot loop (read the key
+    beforehand with {!min_time} / {!peek_key} if needed).
+    @raise Invalid_argument if the queue is empty. *)
+
+val min_time : 'a t -> int
+(** Time of the minimum element, or [max_int] when the queue is empty —
+    an allocation-free [peek_time] shaped for "would anything run before
+    cycle [t]?" comparisons. *)
+
+val peek_key : 'a t -> (int * int) option
+(** [(time, seq)] key of the minimum element, if any. *)
 
 val peek_time : 'a t -> int option
 (** Time of the minimum element, if any. *)

@@ -98,9 +98,21 @@ let map ?jobs f xs =
    figures in BENCH_asf.json. *)
 let sim_cycle_acc = ref 0
 
-let reset_sim_cycles () = sim_cycle_acc := 0
+(* Scheduling counters, harvested the same way: elapses served by the
+   fusion fast path vs. through the heap. Powers the fused_ratio figure
+   in BENCH_asf.json. *)
+let fused_acc = ref 0
+
+let sched_acc = ref 0
+
+let reset_sim_cycles () =
+  sim_cycle_acc := 0;
+  fused_acc := 0;
+  sched_acc := 0
 
 let sim_cycles () = !sim_cycle_acc
+
+let fused_scheduled () = (!fused_acc, !sched_acc)
 
 (* ------------------------------------------------------------------ *)
 (* Cells                                                                *)
@@ -109,6 +121,8 @@ let sim_cycles () = !sim_cycle_acc
 type 'b cell_out = {
   co_val : 'b;
   co_cycles : int;
+  co_fused : int;
+  co_sched : int;
   co_findings : Check.finding list;
   co_hits : int array;
 }
@@ -138,10 +152,14 @@ let cell_map f xs =
   let run_cell x =
     if not scoped then begin
       let c0 = Engine.cycles_retired () in
+      let f0, s0 = Engine.sched_counters () in
       let v = f x in
+      let f1, s1 = Engine.sched_counters () in
       {
         co_val = v;
         co_cycles = Engine.cycles_retired () - c0;
+        co_fused = f1 - f0;
+        co_sched = s1 - s0;
         co_findings = [];
         co_hits = [||];
       }
@@ -164,10 +182,14 @@ let cell_map f xs =
           Faults.install saved_fl)
         (fun () ->
           let c0 = Engine.cycles_retired () in
+          let f0, s0 = Engine.sched_counters () in
           let v = f x in
+          let f1, s1 = Engine.sched_counters () in
           {
             co_val = v;
             co_cycles = Engine.cycles_retired () - c0;
+            co_fused = f1 - f0;
+            co_sched = s1 - s0;
             co_findings =
               (match chk with Some c -> Check.export c | None -> []);
             co_hits = (match fl with Some fl -> Faults.hits fl | None -> [||]);
@@ -181,6 +203,8 @@ let cell_map f xs =
   List.map
     (fun o ->
       sim_cycle_acc := !sim_cycle_acc + o.co_cycles;
+      fused_acc := !fused_acc + o.co_fused;
+      sched_acc := !sched_acc + o.co_sched;
       (match main_chk with
       | Some c -> Check.absorb c o.co_findings
       | None -> ());

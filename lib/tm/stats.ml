@@ -38,7 +38,11 @@ type t = {
   mutable in_attempt : bool;
   mutable cur : int;
   mutable last_mark : int;
-  stack : int Stack.t;
+  (* Category nesting as a grow-by-doubling int-array stack: [enter] runs
+     on every instrumented load/store, and a [Stack.t] cell per push was
+     a measurable slice of the per-access allocation budget. *)
+  mutable stack : int array;
+  mutable depth : int;
 }
 
 let create () =
@@ -52,7 +56,8 @@ let create () =
     in_attempt = false;
     cur = cat_outside;
     last_mark = 0;
-    stack = Stack.create ();
+    stack = Array.make 8 0;
+    depth = 0;
   }
 
 let flush t ~now =
@@ -65,12 +70,19 @@ let flush t ~now =
 
 let enter t ~now cat =
   flush t ~now;
-  Stack.push t.cur t.stack;
+  if t.depth = Array.length t.stack then begin
+    let s = Array.make (2 * t.depth) 0 in
+    Array.blit t.stack 0 s 0 t.depth;
+    t.stack <- s
+  end;
+  t.stack.(t.depth) <- t.cur;
+  t.depth <- t.depth + 1;
   t.cur <- cat
 
 let exit_ t ~now =
   flush t ~now;
-  t.cur <- Stack.pop t.stack
+  t.depth <- t.depth - 1;
+  t.cur <- t.stack.(t.depth)
 
 let begin_attempt t ~now =
   (* The previous attempt must have been closed by [commit_attempt] or

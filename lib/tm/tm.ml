@@ -133,12 +133,18 @@ and ctx = {
   mutable pending_fault : int option;
   mutable consec_aborts : int;
   mutable max_consec_aborts : int;
+  mutable pending_cycles : int;
+      (** accumulated bookkeeping charges awaiting the next ASF op's elapse *)
 }
 
 let create cfg =
   if cfg.mode = Seq_mode && cfg.n_cores > 1 then
     invalid_arg "Tm.create: Seq_mode is uninstrumented and single-threaded";
-  let engine = Engine.create ~n_cores:cfg.n_cores in
+  (* ASF_ALWAYS_SCHEDULE forces every elapse through the heap round-trip
+     (the reference scheduler), so the fusion fast path can be A/B-tested
+     from any existing binary without a rebuild. *)
+  let always_schedule = Sys.getenv_opt "ASF_ALWAYS_SCHEDULE" <> None in
+  let engine = Engine.create ~always_schedule ~n_cores:cfg.n_cores () in
   let mem = Memsys.create cfg.params engine in
   if cfg.abort_on_tlb_miss then Tlb.set_abort_on_tlb_miss (Memsys.tlb mem) true;
   let galloc = Alloc.create () in
@@ -239,6 +245,7 @@ let make_ctx sys ~core =
       pending_fault = None;
       consec_aborts = 0;
       max_consec_aborts = 0;
+      pending_cycles = 0;
     }
   in
   sys.ctxs <- ctx :: sys.ctxs;
@@ -367,18 +374,56 @@ let the_tx ctx =
 (* Transactional and annotated accesses                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* [load]/[store] run once per transactional access, so the [with_cat]
+   closure plus [Fun.protect] bookkeeping is too expensive here; the
+   category bracket is written out by hand instead. The exceptions that
+   can escape (Asf.Aborted, Stm aborts) are control flow, so re-raising
+   with plain [raise] is fine. *)
+
+let enter_ld_st ctx = Stats.enter ctx.stats ~now:(now ctx) Stats.cat_ld_st
+
+let exit_ld_st ctx = Stats.exit_ ctx.stats ~now:(now ctx)
+
 let load ctx addr =
   match ctx.path with
-  | Hw -> with_cat ctx Stats.cat_ld_st (fun () -> Asf.lock_load (the_asf ctx) ~core:ctx.core addr)
-  | Stm_path -> with_cat ctx Stats.cat_ld_st (fun () -> Stm.load (the_tx ctx) addr)
+  | Hw ->
+      enter_ld_st ctx;
+      let v =
+        try Asf.lock_load (the_asf ctx) ~core:ctx.core addr
+        with e ->
+          exit_ld_st ctx;
+          raise e
+      in
+      exit_ld_st ctx;
+      v
+  | Stm_path ->
+      enter_ld_st ctx;
+      let v =
+        try Stm.load (the_tx ctx) addr
+        with e ->
+          exit_ld_st ctx;
+          raise e
+      in
+      exit_ld_st ctx;
+      v
   | Serial | Direct -> Memsys.load ctx.sys.mem ~core:ctx.core addr
 
 let store ctx addr v =
   match ctx.path with
   | Hw ->
-      with_cat ctx Stats.cat_ld_st (fun () ->
-          Asf.lock_store (the_asf ctx) ~core:ctx.core addr v)
-  | Stm_path -> with_cat ctx Stats.cat_ld_st (fun () -> Stm.store (the_tx ctx) addr v)
+      enter_ld_st ctx;
+      (try Asf.lock_store (the_asf ctx) ~core:ctx.core addr v
+       with e ->
+         exit_ld_st ctx;
+         raise e);
+      exit_ld_st ctx
+  | Stm_path ->
+      enter_ld_st ctx;
+      (try Stm.store (the_tx ctx) addr v
+       with e ->
+         exit_ld_st ctx;
+         raise e);
+      exit_ld_st ctx
   | Serial | Direct -> Memsys.store ctx.sys.mem ~core:ctx.core addr v
 
 let nload ctx addr =
@@ -552,6 +597,18 @@ let service_pending_fault ctx =
           Memsys.service_fault ctx.sys.mem ~page)
   | None -> ()
 
+(* Latency batching: back-to-back ABI/bookkeeping charges accumulate in
+   [ctx.pending_cycles] and are folded into the next ASF instruction's
+   single [elapse] (its [?extra] argument) instead of each paying its own
+   scheduling point. Charges are always taken by the immediately following
+   ASF op, so nothing lingers across an abort. *)
+let charge ctx n = ctx.pending_cycles <- ctx.pending_cycles + n
+
+let take_charges ctx =
+  let n = ctx.pending_cycles in
+  ctx.pending_cycles <- 0;
+  n
+
 (* Abort code used when a hardware region observes a phase change. *)
 let phase_change_code = 42
 
@@ -582,7 +639,8 @@ let rec asf_attempt ctx f retries =
       with_cat ctx Stats.cat_start_commit (fun () ->
           (* Do not even start while a serial transaction holds the lock. *)
           wait_serial_free ctx;
-          Asf.speculate a ~core:ctx.core;
+          charge ctx ctx.sys.cfg.begin_abi_cycles;
+          Asf.speculate a ~core:ctx.core ~extra:(take_charges ctx);
           (* Subscribe to the serial lock: its acquisition by any fallback
              transaction dooms this region via requester-wins. The phase
              word shares the line, so one subscription covers both. *)
@@ -591,12 +649,11 @@ let rec asf_attempt ctx f retries =
           if
             ctx.sys.phase <> None
             && Asf.lock_load a ~core:ctx.core ctx.sys.phase_word <> 0
-          then Asf.self_abort a ~core:ctx.core (Abort.Explicit phase_change_code);
-          Engine.elapse ctx.sys.cfg.begin_abi_cycles);
+          then Asf.self_abort a ~core:ctx.core (Abort.Explicit phase_change_code));
       let r = in_body ctx Hw (fun () -> with_cat ctx Stats.cat_app f) in
       with_cat ctx Stats.cat_start_commit (fun () ->
-          Engine.elapse ctx.sys.cfg.commit_abi_cycles;
-          Asf.commit a ~core:ctx.core);
+          charge ctx ctx.sys.cfg.commit_abi_cycles;
+          Asf.commit a ~core:ctx.core ~extra:(take_charges ctx));
       r
     with
     | r ->

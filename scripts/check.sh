@@ -30,6 +30,11 @@ dune build @soak
 # sequential one and that the emitted benchmark JSON validates.
 dune build @bench-smoke
 
+# Scheduler-throughput smoke: quick bench over the single-thread-heavy
+# experiments; prints seq cycles/sec + fusion ratio and asserts the
+# seq vs --jobs 2 determinism contract.
+dune build @perf-smoke
+
 # Watchdog negative fixture: under the livelock plan (permanent spurious
 # aborts + a hanging serial-lock holder) the run MUST be ended by the
 # progress watchdog with a non-zero exit; a zero exit means the watchdog

@@ -15,7 +15,7 @@ module Asf = Asf_core.Asf
 (* Small-quantum params would flood tests with interrupt aborts; use the
    real Barcelona quantum (2.2M cycles), far beyond these micro-tests. *)
 let setup ?(n_cores = 2) ?(variant = Variant.llb8) ?(requester_wins = true) () =
-  let e = Engine.create ~n_cores in
+  let e = Engine.create ~n_cores () in
   let m = Memsys.create Params.barcelona e in
   let a = Asf.create m ~requester_wins variant in
   (* Pre-map the low pages (words 0..32767), as an OS would after program

@@ -110,7 +110,7 @@ module Model = struct
 end
 
 let run_hardware initial ops ~commit =
-  let e = Engine.create ~n_cores:1 in
+  let e = Engine.create ~n_cores:1 () in
   let m = Memsys.create Params.barcelona e in
   let a = Asf.create m Variant.llb256 in
   Array.iteri (fun i v -> Memsys.poke m i v) initial;

@@ -244,6 +244,46 @@ let test_hierarchy_remote_dirty_forward () =
   Alcotest.(check int) "forward + probe"
     (p.l3_latency + p.coherence_probe_latency) lat
 
+let sum_l2_misses h ~n_cores =
+  let acc = ref 0 in
+  for c = 0 to n_cores - 1 do
+    acc := !acc + (Hierarchy.l2_stats h ~core:c).Hierarchy.misses
+  done;
+  !acc
+
+let test_hierarchy_forwards_accounting () =
+  (* A cache-to-cache forward never consults the L3, so it lands in the
+     dedicated [forwards] counter rather than either L3 bucket — and the
+     read-path books balance: l3 hits + misses + forwards = l2 misses. *)
+  let p = Params.barcelona in
+  let h = Hierarchy.create p ~n_cores:2 in
+  ignore (Hierarchy.access h ~core:0 ~line:3 ~write:true);
+  ignore (Hierarchy.access h ~core:1 ~line:3 ~write:false);
+  Alcotest.(check int) "one forward" 1 (Hierarchy.forwards h);
+  (* A dirty write miss forwarded from core 1 counts too. *)
+  ignore (Hierarchy.access h ~core:1 ~line:8 ~write:true);
+  ignore (Hierarchy.access h ~core:0 ~line:8 ~write:true);
+  Alcotest.(check int) "write-side forward" 2 (Hierarchy.forwards h);
+  let l3 = Hierarchy.l3_stats h in
+  Alcotest.(check int) "books balance"
+    (sum_l2_misses h ~n_cores:2)
+    (l3.Hierarchy.hits + l3.Hierarchy.misses + Hierarchy.forwards h)
+
+let prop_l3_books_balance =
+  QCheck.Test.make ~name:"l3 hits + misses + forwards = l2 misses" ~count:100
+    QCheck.(list (triple (int_range 0 3) (int_range 0 63) bool))
+    (fun ops ->
+      let p = Params.dual_socket in
+      let n_cores = 4 in
+      let h = Hierarchy.create p ~n_cores in
+      List.iter
+        (fun (core, line, write) ->
+          ignore (Hierarchy.access h ~core ~line ~write))
+        ops;
+      let l3 = Hierarchy.l3_stats h in
+      l3.Hierarchy.hits + l3.Hierarchy.misses + Hierarchy.forwards h
+      = sum_l2_misses h ~n_cores)
+
 let test_hierarchy_cross_socket () =
   let p = { Params.dual_socket with Params.ooo_factor = 1.0 } in
   let h = Hierarchy.create p ~n_cores:4 in
@@ -299,6 +339,7 @@ module Ref_hier = struct
     l3 : Cache.t array;
     dir : (int, entry) Hashtbl.t;
     evict_hooks : (int -> unit) array;
+    mutable forwards : int;
     mutable invalidations : int;
     mutable cross_socket_probes : int;
   }
@@ -315,6 +356,7 @@ module Ref_hier = struct
       l3 = Array.init p.n_sockets (fun _ -> mk p.l3_bytes p.l3_assoc);
       dir = Hashtbl.create 64;
       evict_hooks = Array.make n_cores (fun _ -> ());
+      forwards = 0;
       invalidations = 0;
       cross_socket_probes = 0;
     }
@@ -338,7 +380,10 @@ module Ref_hier = struct
     let base_latency =
       if Cache.mem t.l1.(core) line then p.l1_latency
       else if Cache.mem t.l2.(core) line then p.l2_latency
-      else if remote_dirty then p.l3_latency
+      else if remote_dirty then begin
+        t.forwards <- t.forwards + 1;
+        p.l3_latency
+      end
       else if Cache.mem t.l3.(socket) line then p.l3_latency
       else p.mem_latency
     in
@@ -409,6 +454,7 @@ let prop_hierarchy_vs_hashtbl_directory =
       in
       agree
       && !h_evicts = !r_evicts
+      && Hierarchy.forwards h = r.Ref_hier.forwards
       && Hierarchy.invalidations h = r.Ref_hier.invalidations
       && Hierarchy.cross_socket_probes h = r.Ref_hier.cross_socket_probes)
 
@@ -418,7 +464,7 @@ let prop_hierarchy_vs_hashtbl_directory =
 
 let with_thread f =
   (* Run [f] inside a single simulated thread and return (result, cycles). *)
-  let e = Engine.create ~n_cores:2 in
+  let e = Engine.create ~n_cores:2 () in
   let result = ref None in
   Engine.spawn e ~core:0 (fun () -> result := Some (f e));
   Engine.run e;
@@ -547,6 +593,8 @@ let () =
           Alcotest.test_case "latencies" `Quick test_hierarchy_latencies;
           Alcotest.test_case "invalidation" `Quick test_hierarchy_invalidation;
           Alcotest.test_case "dirty forward" `Quick test_hierarchy_remote_dirty_forward;
+          Alcotest.test_case "forwards accounting" `Quick test_hierarchy_forwards_accounting;
+          q prop_l3_books_balance;
           Alcotest.test_case "cross socket" `Quick test_hierarchy_cross_socket;
           Alcotest.test_case "per-socket L3" `Quick test_hierarchy_per_socket_l3;
           Alcotest.test_case "evict hook" `Quick test_hierarchy_evict_hook;

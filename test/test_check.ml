@@ -17,7 +17,7 @@ module Check = Asf_check.Check
 
 let setup ?(n_cores = 2) ?(variant = Variant.llb8) ?(rollback = true)
     ?(resolve = true) () =
-  let e = Engine.create ~n_cores in
+  let e = Engine.create ~n_cores () in
   let m = Memsys.create Params.barcelona e in
   let a =
     Asf.create m ~rollback_on_abort:rollback ~resolve_conflicts:resolve variant

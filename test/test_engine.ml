@@ -7,6 +7,7 @@ module Pqueue = Asf_engine.Pqueue
 module Addr = Asf_mem.Addr
 module Ram = Asf_mem.Ram
 module Alloc = Asf_mem.Alloc
+module Trace = Asf_trace.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Pqueue                                                              *)
@@ -20,6 +21,23 @@ let test_pqueue_order () =
   Pqueue.push q ~time:1 ~seq:9 "d";
   let order = List.init 4 (fun _ -> let _, _, v = Pqueue.pop q in v) in
   Alcotest.(check (list string)) "min (time,seq) first" [ "d"; "b"; "c"; "a" ] order;
+  Alcotest.(check bool) "empty after draining" true (Pqueue.is_empty q)
+
+let test_pqueue_peek_drop () =
+  let q = Pqueue.create () in
+  Alcotest.(check (option (pair int int))) "peek empty" None (Pqueue.peek_key q);
+  Alcotest.(check int) "min_time empty" max_int (Pqueue.min_time q);
+  Pqueue.push q ~time:5 ~seq:2 "a";
+  Pqueue.push q ~time:5 ~seq:1 "b";
+  Pqueue.push q ~time:9 ~seq:0 "c";
+  Alcotest.(check (option (pair int int)))
+    "min key: earliest time, then smallest seq" (Some (5, 1))
+    (Pqueue.peek_key q);
+  Alcotest.(check int) "min_time" 5 (Pqueue.min_time q);
+  Alcotest.(check string) "drop_min returns the payload" "b" (Pqueue.drop_min q);
+  Alcotest.(check (option (pair int int))) "next key" (Some (5, 2)) (Pqueue.peek_key q);
+  Alcotest.(check string) "second" "a" (Pqueue.drop_min q);
+  Alcotest.(check string) "last" "c" (Pqueue.drop_min q);
   Alcotest.(check bool) "empty after draining" true (Pqueue.is_empty q)
 
 let prop_pqueue_sorted =
@@ -117,7 +135,7 @@ let test_prng_uses_high_bits () =
 (* ------------------------------------------------------------------ *)
 
 let test_engine_single_thread () =
-  let e = Engine.create ~n_cores:1 in
+  let e = Engine.create ~n_cores:1 () in
   let steps = ref 0 in
   Engine.spawn e ~core:0 (fun () ->
       for _ = 1 to 10 do
@@ -131,7 +149,7 @@ let test_engine_single_thread () =
 let test_engine_interleaving_deterministic () =
   (* Two threads alternate strictly by time; record the interleaving. *)
   let run () =
-    let e = Engine.create ~n_cores:2 in
+    let e = Engine.create ~n_cores:2 () in
     let log = ref [] in
     let worker id delay () =
       for i = 1 to 5 do
@@ -157,7 +175,7 @@ let test_engine_interleaving_deterministic () =
 let test_engine_atomic_between_elapses () =
   (* Without an elapse in the middle, a read-modify-write sequence is
      atomic: 2 threads x 1000 increments never lose an update. *)
-  let e = Engine.create ~n_cores:2 in
+  let e = Engine.create ~n_cores:2 () in
   let counter = ref 0 in
   let incr_thread () =
     for _ = 1 to 1000 do
@@ -172,7 +190,7 @@ let test_engine_atomic_between_elapses () =
   Alcotest.(check int) "no lost updates" 2000 !counter
 
 let test_engine_threads_share_core () =
-  let e = Engine.create ~n_cores:1 in
+  let e = Engine.create ~n_cores:1 () in
   let done_count = ref 0 in
   for _ = 1 to 3 do
     Engine.spawn e ~core:0 (fun () ->
@@ -185,7 +203,7 @@ let test_engine_threads_share_core () =
   Alcotest.(check int) "shared clock" 21 (Engine.core_time e 0)
 
 let test_engine_exception_propagates () =
-  let e = Engine.create ~n_cores:1 in
+  let e = Engine.create ~n_cores:1 () in
   Engine.spawn e ~core:0 (fun () ->
       Engine.elapse 1;
       failwith "boom");
@@ -193,7 +211,7 @@ let test_engine_exception_propagates () =
 
 let test_engine_elapse_zero () =
   (* elapse 0 is a pure yield: time unchanged, scheduling still fair. *)
-  let e = Engine.create ~n_cores:1 in
+  let e = Engine.create ~n_cores:1 () in
   let order = ref [] in
   Engine.spawn e ~core:0 (fun () ->
       order := 1 :: !order;
@@ -208,18 +226,119 @@ let test_engine_elapse_zero () =
   Alcotest.(check (list int)) "fair interleave" [ 1; 2; 3; 4 ] (List.rev !order)
 
 let test_engine_negative_elapse_rejected () =
-  let e = Engine.create ~n_cores:1 in
+  let e = Engine.create ~n_cores:1 () in
   Engine.spawn e ~core:0 (fun () -> Engine.elapse (-1));
   Alcotest.check_raises "negative duration"
     (Invalid_argument "Engine.elapse: negative duration") (fun () -> Engine.run e)
 
 let test_engine_max_time () =
-  let e = Engine.create ~n_cores:4 in
+  let e = Engine.create ~n_cores:4 () in
   for c = 0 to 3 do
     Engine.spawn e ~core:c (fun () -> Engine.elapse ((c + 1) * 100))
   done;
   Engine.run e;
   Alcotest.(check int) "makespan" 400 (Engine.max_time e)
+
+(* ------------------------------------------------------------------ *)
+(* Fusion fast path                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_fusion_counters () =
+  (* A thread running alone always beats an empty heap, so every elapse
+     takes the fast path; the always-schedule ablation forces every one
+     through the heap. Clocks and event counts must agree regardless. *)
+  let body () =
+    for _ = 1 to 10 do
+      Engine.elapse 3
+    done
+  in
+  let e = Engine.create ~n_cores:1 () in
+  Engine.spawn e ~core:0 body;
+  Engine.run e;
+  Alcotest.(check int) "all fused" 10 (Engine.fused_elapses e);
+  Alcotest.(check int) "none scheduled" 0 (Engine.scheduled_elapses e);
+  let r = Engine.create ~always_schedule:true ~n_cores:1 () in
+  Engine.spawn r ~core:0 body;
+  Engine.run r;
+  Alcotest.(check int) "ablation: none fused" 0 (Engine.fused_elapses r);
+  Alcotest.(check int) "ablation: all scheduled" 10 (Engine.scheduled_elapses r);
+  Alcotest.(check int) "same clock" (Engine.core_time e 0) (Engine.core_time r 0);
+  Alcotest.(check int) "same event count" (Engine.events e) (Engine.events r)
+
+let test_engine_heap_high_water () =
+  let e = Engine.create ~n_cores:4 () in
+  for c = 0 to 3 do
+    Engine.spawn e ~core:c (fun () -> Engine.elapse 10)
+  done;
+  Alcotest.(check int) "all spawns queued" 4 (Engine.heap_high_water e);
+  Engine.run e;
+  Alcotest.(check int) "run never exceeds the spawn peak" 4
+    (Engine.heap_high_water e)
+
+(* Fusion equivalence (QCheck): random spawn/elapse programs run
+   bit-identically on the fused engine and the always-schedule reference
+   — same execution log, per-core clocks, scheduling-event counts, and
+   emitted trace stream (resume/spawn/finish kinds included, which the
+   default filter would hide). *)
+
+let run_program ~always_schedule (n_cores, threads) =
+  let tracer = Trace.create ~filter:[ "resume"; "spawn"; "finish" ] () in
+  Trace.install tracer;
+  Fun.protect ~finally:Trace.uninstall (fun () ->
+      let e = Engine.create ~always_schedule ~n_cores () in
+      let log = ref [] in
+      List.iteri
+        (fun id (core, delays) ->
+          Engine.spawn e ~core (fun () ->
+              List.iteri
+                (fun i d ->
+                  Engine.elapse d;
+                  log := (id, i, Engine.core_time e core) :: !log)
+                delays))
+        threads;
+      Engine.run e;
+      ( List.rev !log,
+        List.init n_cores (Engine.core_time e),
+        Engine.events e,
+        Trace.events tracer ))
+
+let program_gen =
+  QCheck.Gen.(
+    int_range 1 3 >>= fun n_cores ->
+    list_size (int_range 1 5)
+      (pair
+         (int_range 0 (n_cores - 1))
+         (list_size (int_range 0 8) (int_range 0 25)))
+    >|= fun threads -> (n_cores, threads))
+
+let print_program (n_cores, threads) =
+  Printf.sprintf "cores=%d %s" n_cores
+    (String.concat "; "
+       (List.map
+          (fun (c, ds) ->
+            Printf.sprintf "core %d: [%s]" c
+              (String.concat "," (List.map string_of_int ds)))
+          threads))
+
+let prop_fusion_equivalent =
+  QCheck.Test.make ~name:"fused engine matches always-schedule reference"
+    ~count:300
+    (QCheck.make ~print:print_program program_gen)
+    (fun p ->
+      let log_f, times_f, events_f, trace_f =
+        run_program ~always_schedule:false p
+      in
+      let log_r, times_r, events_r, trace_r =
+        run_program ~always_schedule:true p
+      in
+      if log_f <> log_r then QCheck.Test.fail_report "execution order differs"
+      else if times_f <> times_r then
+        QCheck.Test.fail_report "per-core clocks differ"
+      else if events_f <> events_r then
+        QCheck.Test.fail_report "event counts differ"
+      else if trace_f <> trace_r then
+        QCheck.Test.fail_report "trace streams differ"
+      else true)
 
 (* ------------------------------------------------------------------ *)
 (* Addr                                                                *)
@@ -327,6 +446,7 @@ let () =
       ( "pqueue",
         [
           Alcotest.test_case "order" `Quick test_pqueue_order;
+          Alcotest.test_case "peek/drop" `Quick test_pqueue_peek_drop;
           q prop_pqueue_sorted;
         ] );
       ( "prng",
@@ -348,6 +468,12 @@ let () =
           Alcotest.test_case "elapse zero" `Quick test_engine_elapse_zero;
           Alcotest.test_case "negative elapse" `Quick test_engine_negative_elapse_rejected;
           Alcotest.test_case "max time" `Quick test_engine_max_time;
+        ] );
+      ( "fusion",
+        [
+          Alcotest.test_case "counters" `Quick test_engine_fusion_counters;
+          Alcotest.test_case "heap high water" `Quick test_engine_heap_high_water;
+          q prop_fusion_equivalent;
         ] );
       ("addr", [ Alcotest.test_case "arithmetic" `Quick test_addr_arithmetic ]);
       ( "ram",

@@ -21,7 +21,7 @@ module Prng = Asf_engine.Prng
 (* ------------------------------------------------------------------ *)
 
 let asf_setup variant =
-  let e = Engine.create ~n_cores:2 in
+  let e = Engine.create ~n_cores:2 () in
   let m = Memsys.create Params.barcelona e in
   let a = Asf.create m variant in
   for p = 0 to 255 do

@@ -11,7 +11,7 @@ module Memsys = Asf_cache.Memsys
 module Stm = Asf_stm.Tinystm
 
 let setup ?(n_cores = 2) () =
-  let e = Engine.create ~n_cores in
+  let e = Engine.create ~n_cores () in
   let m = Memsys.create Params.barcelona e in
   let alloc = Alloc.create () in
   let stm = Stm.create m alloc in
@@ -265,7 +265,7 @@ let test_stm_slower_than_raw () =
 (* ------------------------------------------------------------------ *)
 
 let setup_wb ?(n_cores = 2) () =
-  let e = Engine.create ~n_cores in
+  let e = Engine.create ~n_cores () in
   let m = Memsys.create Params.barcelona e in
   let alloc = Alloc.create () in
   let stm = Stm.create ~strategy:Stm.Write_back m alloc in
@@ -305,7 +305,7 @@ let test_wb_matches_wt_results () =
   (* Same concurrent counter workload under both strategies: identical
      final value. *)
   let run strategy =
-    let e = Engine.create ~n_cores:4 in
+    let e = Engine.create ~n_cores:4 () in
     let m = Memsys.create Params.barcelona e in
     let alloc = Alloc.create () in
     let stm = Stm.create ~strategy m alloc in
