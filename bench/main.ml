@@ -41,6 +41,17 @@ let skip_bechamel = ref false
 
 let only = ref ""
 
+(* 0.0 = no gate. On a multi-core host the gate is literal: the parallel
+   pass's totals speedup must reach the floor. On a single-core host
+   (Parallel.available () = 1, e.g. CI containers) a parallel win is
+   physically impossible, so the gate degrades to an overhead bound: the
+   pool may not be worse than min(floor, 0.65) — chunked claiming plus
+   the join must stay cheap even when domains only timeslice. The 0.65
+   allows for the multicore GC tax and the +/-15% single-shot timing
+   noise observed on shared single-core CI hosts while still failing a
+   pool that burns half its host time on coordination. *)
+let min_speedup = ref 0.0
+
 let () =
   Arg.parse
     [
@@ -57,10 +68,14 @@ let () =
       ( "--only",
         Arg.Set_string only,
         "IDS Comma-separated experiment ids to run (default: all)" );
+      ( "--min-speedup",
+        Arg.Set_float min_speedup,
+        "X Fail unless the parallel pass's totals speedup reaches X \
+         (single-core hosts: min(X, 0.65) as an overhead bound)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "main.exe [--quick] [--seed N] [--jobs N] [--out FILE] [--csv DIR] \
-     [--skip-bechamel] [--only IDS]"
+     [--skip-bechamel] [--only IDS] [--min-speedup X]"
 
 (* Resolve --only against the experiment registry; an unknown id is a
    usage error, not a silently empty run. *)
@@ -251,7 +266,13 @@ let validate_json s =
       let missing =
         List.filter
           (fun k -> not (has k))
-          [ "schema"; "experiments"; "totals"; "seq_seconds"; "par_seconds" ]
+          [
+            "schema"; "quick"; "seed"; "jobs"; "recommended_domains";
+            "experiments"; "totals"; "seq_seconds"; "par_seconds"; "speedup";
+            "sim_cycles"; "seq_cycles_per_sec"; "par_cycles_per_sec";
+            "fused_elapses"; "scheduled_elapses"; "fused_ratio";
+            "deterministic";
+          ]
       in
       if missing = [] then Ok ()
       else Error ("missing keys: " ^ String.concat ", " missing)
@@ -320,8 +341,36 @@ let part2 () =
       Printf.printf "%-24s %14.2f %10s\n" name est (if Float.is_nan r2 then "-" else Printf.sprintf "%.3f" r2))
     rows
 
+(* The --min-speedup gate over part 1's totals (see the flag comment). *)
+let speedup_gate timings =
+  if !min_speedup <= 0.0 || timings = [] then []
+  else begin
+    let total f = List.fold_left (fun acc t -> acc +. f t) 0.0 timings in
+    let speedup =
+      total (fun t -> t.seq_seconds)
+      /. Float.max 1e-9 (total (fun t -> t.par_seconds))
+    in
+    let multicore = Parallel.available () >= 2 in
+    let floor =
+      if multicore then !min_speedup else Float.min !min_speedup 0.65
+    in
+    Printf.printf "speedup gate: totals x%.3f, floor x%.2f (%s host)\n%!"
+      speedup floor
+      (if multicore then "multi-core" else "single-core");
+    if speedup >= floor then []
+    else
+      [
+        Printf.sprintf
+          "totals speedup x%.3f below the --min-speedup floor x%.2f%s" speedup
+          floor
+          (if multicore then ""
+           else " (single-core host: pool-overhead bound)");
+      ]
+  end
+
 let () =
   let timings, par_jobs, failures = part1 () in
+  let failures = failures @ speedup_gate timings in
   let failures = failures @ write_bench_json timings ~par_jobs in
   if not !skip_bechamel then part2 ();
   if failures <> [] then begin

@@ -148,6 +148,26 @@ let parts t =
       | Isolation -> t.chk_iso | Serial -> t.chk_serial | Lint -> t.chk_lint)
     all_parts
 
+(* Restore the [create] state while keeping the instance (and its already
+   sized hashtables) alive — the pool workers reuse one cached checker per
+   domain across cells instead of re-deriving a fresh one per cell. *)
+let reset t =
+  t.run <- 0;
+  t.finalized <- true;
+  t.seq <- 0;
+  t.next_txn <- 0;
+  t.mem <- None;
+  t.asf <- None;
+  t.variant <- None;
+  t.n_cores <- 0;
+  t.cur <- [||];
+  t.committed <- [];
+  Hashtbl.reset t.lines;
+  Hashtbl.reset t.history;
+  t.profiles <- [];
+  t.found <- [];
+  Hashtbl.reset t.index
+
 (* {1 Findings} *)
 
 let popcount m =

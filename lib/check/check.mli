@@ -79,6 +79,13 @@ val create : ?parts:part list -> unit -> t
 
 val parts : t -> part list
 
+val reset : t -> unit
+(** Return the checker to its just-{!create}d state (same parts, no runs,
+    no findings) without allocating a new instance — equivalent to
+    [create ~parts:(parts t) ()] for every observable purpose. The pool
+    workers reset one cached checker between cells instead of creating a
+    fresh one per cell. *)
+
 (** {1 Global installation}
 
     Mirrors {!Asf_trace.Trace.install}: the CLI installs a checker once

@@ -1,23 +1,41 @@
-(** Binary min-heap priority queue used by the event scheduler.
+(** Priority queue used by the event scheduler.
 
     Elements carry two integer keys compared lexicographically: the primary
-    key is the event time in cycles, the secondary key a monotonically
-    increasing sequence number that makes the schedule deterministic (FIFO
-    among simultaneous events).
+    key is the event time in cycles (must be non-negative), the secondary
+    key a monotonically increasing sequence number that makes the schedule
+    deterministic (FIFO among simultaneous events).
 
-    The representation is structure-of-arrays — keys in unboxed int
-    arrays, payloads in a parallel value array — so steady-state push/pop
-    traffic allocates nothing. *)
+    Two representations live behind this interface, chosen by {!policy}:
+    a structure-of-arrays binary min-heap (keys in unboxed int arrays;
+    steady-state push/pop allocates nothing) for small populations, and a
+    calendar queue (time-bucketed days, O(1) amortized push/drop_min) for
+    large ones. The pop order is the (time, seq) total order in either
+    regime — the representation is unobservable apart from speed, which
+    is what keeps heap and calendar runs of the simulator bit-identical.
+
+    Popped slots are vacated: a queue retains (pins) at most one payload
+    beyond its live [length] elements — a dummy captured from the first
+    push, used to clear abandoned array slots. *)
+
+type policy =
+  | Heap  (** always the binary heap *)
+  | Calendar  (** always the calendar queue *)
+  | Auto
+      (** start as a heap, migrate to the calendar past a population
+          threshold, demote back when it drains or the time distribution
+          defeats bucketing (the default) *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?policy:policy -> unit -> 'a t
+(** An empty queue under [policy] (default {!Auto}). *)
 
 val is_empty : 'a t -> bool
 
 val length : 'a t -> int
 
 val push : 'a t -> time:int -> seq:int -> 'a -> unit
+(** @raise Invalid_argument if [time] is negative. *)
 
 val pop : 'a t -> int * int * 'a
 (** Removes and returns the minimum element as [(time, seq, v)].

@@ -169,6 +169,14 @@ let plan t = t.plan
 
 let seed t = t.seed
 
+(* Restore the [create] state in place: dropping the lazily built
+   per-(site, core) streams is enough, because each stream's state is a
+   pure function of (seed, site, core) and re-derives identically on next
+   use. Lets the pool workers reuse one cached injector across cells. *)
+let reset t =
+  Hashtbl.reset t.streams;
+  Array.fill t.hits 0 n_sites 0
+
 let enabled t = t.enabled
 
 (* Domain-local, like the tracer: each pool worker domain installs its

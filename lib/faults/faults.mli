@@ -163,3 +163,9 @@ val hits : t -> int array
 
 val absorb : t -> int array -> unit
 (** Add a {!hits} snapshot into this instance's counters. *)
+
+val reset : t -> unit
+(** Return the injector to its just-{!create}d state (same plan and seed,
+    no draws, zero hit counts) without allocating a new instance; the next
+    draw on any (site, core) stream yields exactly what a fresh injector
+    would. The pool workers reset one cached injector between cells. *)

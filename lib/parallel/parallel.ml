@@ -8,20 +8,23 @@
    (submission) order, which makes the output of [--jobs n] bit-identical
    to [--jobs 1].
 
-   Scheduling is the classic self-scheduling / work-stealing-style shared
-   queue: workers repeatedly claim the next unclaimed cell index from one
-   atomic counter, so long cells never leave a domain idle while work
-   remains (cf. Blumofe & Leiserson's work-first principle; with
-   independent, pre-enumerated tasks a single shared queue gives the same
-   schedule quality as per-deque stealing without the deques).
+   Scheduling is guided self-scheduling over one shared atomic counter:
+   a worker claims a *chunk* of [max 1 (remaining / (4 * jobs))]
+   consecutive cell indices per fetch-and-add (Polychronopoulos & Kuck's
+   decreasing-chunk rule), so early claims amortize the atomic op and the
+   cache-line ping-pong over many cells while the tail degrades to
+   one-at-a-time claims that keep the finish times balanced. Chunks are
+   claimed in increasing index order — the property the fail-fast
+   determinism argument below rests on.
 
    Observability state (Txcheck checkers, Faultline injectors, tracers)
    is *domain-local* ({!Asf_trace.Trace}, {!Asf_check.Check} and
    {!Asf_faults.Faults} keep their installed instance in [Domain.DLS]):
-   [cell_map] gives every cell a fresh checker / injector derived from
-   the main domain's configuration and merges the harvested findings and
-   injection censuses back in cell order. See DESIGN.md, "The determinism
-   contract". *)
+   [cell_map] gives every worker one cached checker / injector pair
+   derived from the main domain's configuration — reset between cells,
+   which is observably identical to the fresh-per-cell derivation it
+   replaces — and merges the harvested findings and injection censuses
+   back in cell order. See DESIGN.md, "The determinism contract". *)
 
 module Engine = Asf_engine.Engine
 module Trace = Asf_trace.Trace
@@ -44,58 +47,106 @@ let set_jobs n = current_jobs := max 1 n
 let jobs () = !current_jobs
 
 (* Execute every thunk and return the results in submission order.
+
    [jobs <= 1] (or a single thunk) runs inline on the calling domain,
    fail-fast; otherwise [jobs - 1] worker domains are spawned and the
-   caller participates as the last worker. A raising thunk does not
-   cancel its siblings; after the join, the lowest-index exception is
-   re-raised (the same one a sequential left-to-right run would have
-   surfaced first). *)
-let run_thunks ?jobs:(j = !current_jobs) thunks =
+   caller participates as worker 0. [around wid body] wraps worker
+   [wid]'s whole participation (domain-local setup / harvest hooks for
+   the cell runner); it must call [body] exactly once and let exceptions
+   through. [chunk] pins the claim-chunk size (tests); the default is the
+   guided rule above.
+
+   Fail-fast: the first raising thunk sets a shared flag that stops
+   further *claims* — cells inside already-claimed chunks still run.
+   That claim-time-only check is what keeps the re-raised exception
+   deterministic: chunks are claimed in increasing index order, and a
+   failing thunk runs only after its own chunk was claimed, so by the
+   time the flag is first set the chunk holding the lowest failing index
+   has already been claimed and will run to completion. The lowest-index
+   exception therefore always materializes in [results], and re-raising
+   it reproduces what a sequential left-to-right run would have surfaced
+   first — regardless of jobs, chunking, or timing. *)
+let run_thunks ?jobs:(j = !current_jobs) ?chunk ?around thunks =
   let n = Array.length thunks in
   let j = max 1 (min j n) in
-  if j <= 1 then Array.map (fun f -> f ()) thunks
+  let wrap = match around with Some g -> g | None -> fun _wid k -> k () in
+  if j <= 1 then begin
+    let out = ref [||] in
+    wrap 0 (fun () -> out := Array.map (fun f -> f ()) thunks);
+    !out
+  end
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (results.(i) <-
-             Some
-               (match thunks.(i) () with
-               | v -> Ok v
-               | exception e -> Error (e, Printexc.get_raw_backtrace ())));
-          loop ()
-        end
-      in
-      loop ()
+    let failed = Atomic.make false in
+    let chunk_of remaining =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (remaining / (4 * j))
     in
-    let workers = Array.init (j - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let worker wid =
+      wrap wid (fun () ->
+          let running = ref true in
+          while !running do
+            if Atomic.get failed then running := false
+            else begin
+              (* The [remaining] estimate may be stale by claim time; the
+                 chunk size is a heuristic, so that only skews the grain,
+                 never the claimed range itself. *)
+              let k = chunk_of (n - Atomic.get next) in
+              let lo = Atomic.fetch_and_add next k in
+              if lo >= n then running := false
+              else
+                for i = lo to min (lo + k) n - 1 do
+                  results.(i) <-
+                    Some
+                      (match thunks.(i) () with
+                      | v -> Ok v
+                      | exception e ->
+                          Atomic.set failed true;
+                          Error (e, Printexc.get_raw_backtrace ()))
+                done
+            end
+          done)
+    in
+    let workers =
+      Array.init (j - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+    in
+    worker 0;
     Array.iter Domain.join workers;
-    Array.map
-      (function
-        | Some (Ok v) -> v
-        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-        | None -> assert false (* every index was claimed before the join *))
-      results
+    let first_error = ref None in
+    for i = n - 1 downto 0 do
+      match results.(i) with
+      | Some (Error eb) -> first_error := Some eb
+      | _ -> ()
+    done;
+    match !first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map
+          (function
+            | Some (Ok v) -> v
+            | Some (Error _) | None ->
+                (* No thunk failed, so the flag never stopped a claim and
+                   every index was claimed and run before the join. *)
+                assert false)
+          results
   end
 
-let map_array ?jobs f xs =
-  run_thunks ?jobs (Array.map (fun x () -> f x) xs)
+let map_array ?jobs ?chunk ?around f xs =
+  run_thunks ?jobs ?chunk ?around (Array.map (fun x () -> f x) xs)
 
-let map ?jobs f xs =
-  Array.to_list (map_array ?jobs f (Array.of_list xs))
+let map ?jobs ?chunk ?around f xs =
+  Array.to_list (map_array ?jobs ?chunk ?around f (Array.of_list xs))
 
 (* ------------------------------------------------------------------ *)
 (* Simulated-cycle accounting                                           *)
 (* ------------------------------------------------------------------ *)
 
 (* Cycles simulated by cells run through [cell_map] since the last
-   [reset_sim_cycles], harvested from each executing domain's retired-
-   cycle counter and summed on the main domain. Powers the cycles/sec
-   figures in BENCH_asf.json. *)
+   [reset_sim_cycles], harvested once per worker from the executing
+   domain's retired-cycle counter and summed on the main domain at join.
+   Powers the cycles/sec figures in BENCH_asf.json. *)
 let sim_cycle_acc = ref 0
 
 (* Scheduling counters, harvested the same way: elapses served by the
@@ -120,22 +171,27 @@ let fused_scheduled () = (!fused_acc, !sched_acc)
 
 type 'b cell_out = {
   co_val : 'b;
-  co_cycles : int;
-  co_fused : int;
-  co_sched : int;
   co_findings : Check.finding list;
   co_hits : int array;
 }
 
 (* Map [f] over [xs] as independent deterministic cells across the pool.
 
-   Each cell runs with its own domain-locally installed Txcheck checker
-   and Faultline injector, freshly derived from whatever the main domain
-   has installed (same parts; same plan and seed). After all cells
-   complete, their findings and injection counts are absorbed into the
-   main domain's instances in cell order — so the final findings table
-   and census are independent of which domain ran which cell, and of the
+   Each worker installs one cached Txcheck checker and Faultline injector
+   for its whole participation, derived from whatever the main domain has
+   installed (same parts; same plan and seed) and *reset* between cells —
+   {!Check.reset} / {!Faults.reset} restore the just-created state, so a
+   cell sees exactly the instance a fresh per-cell derivation would have
+   given it, without the per-cell allocation. After all cells complete,
+   their findings and injection counts are absorbed into the main
+   domain's instances in cell order — so the final findings table and
+   census are independent of which domain ran which cell, and of the
    completion order.
+
+   Engine accounting (simulated cycles, fused/scheduled elapses) is
+   domain-local too; each worker banks its deltas into its own arena slot
+   and the main domain merges the slots once after the join, instead of
+   per-cell ref updates on the main domain.
 
    Tracing has no such merge path (rings are ordered by host emission):
    when a tracer is installed, the map degrades to sequential so every
@@ -149,62 +205,71 @@ let cell_map f xs =
     else None
   in
   let scoped = parts <> None || fplan <> None in
+  let jobs = if Trace.enabled (Trace.installed ()) then 1 else !current_jobs in
+  (* Per-worker stat arenas: distinct slots, written by the owning worker
+     inside [around]'s finally and read on the main domain only after the
+     join (which orders the writes before the reads). *)
+  let slots = max 1 jobs in
+  let a_cycles = Array.make slots 0 in
+  let a_fused = Array.make slots 0 in
+  let a_sched = Array.make slots 0 in
+  let around wid body =
+    (* Executing-domain scope: save whatever this domain had installed
+       (the main domain's own instances when wid = 0), substitute the
+       worker's cached derivations, and restore on the way out. *)
+    let saved_chk = Check.installed () in
+    let saved_fl = Faults.installed () in
+    let chk = Option.map (fun parts -> Check.create ~parts ()) parts in
+    let fl = Option.map (fun (plan, seed) -> Faults.create ~seed plan) fplan in
+    (match chk with Some c -> Check.install c | None -> ());
+    (match fl with Some fl -> Faults.install fl | None -> ());
+    let c0 = Engine.cycles_retired () in
+    let f0, s0 = Engine.sched_counters () in
+    Fun.protect
+      ~finally:(fun () ->
+        a_cycles.(wid) <- Engine.cycles_retired () - c0;
+        let f1, s1 = Engine.sched_counters () in
+        a_fused.(wid) <- f1 - f0;
+        a_sched.(wid) <- s1 - s0;
+        (match saved_chk with
+        | Some c -> Check.install c
+        | None -> Check.uninstall ());
+        Faults.install saved_fl)
+      body
+  in
   let run_cell x =
-    if not scoped then begin
-      let c0 = Engine.cycles_retired () in
-      let f0, s0 = Engine.sched_counters () in
-      let v = f x in
-      let f1, s1 = Engine.sched_counters () in
-      {
-        co_val = v;
-        co_cycles = Engine.cycles_retired () - c0;
-        co_fused = f1 - f0;
-        co_sched = s1 - s0;
-        co_findings = [];
-        co_hits = [||];
-      }
-    end
+    if not scoped then { co_val = f x; co_findings = []; co_hits = [||] }
     else begin
-      (* Executing-domain scope: save whatever this domain had installed
-         (the main domain's own instances when jobs = 1), substitute the
-         per-cell derivations, and restore on the way out. *)
-      let saved_chk = Check.installed () in
-      let saved_fl = Faults.installed () in
-      let chk = Option.map (fun parts -> Check.create ~parts ()) parts in
-      let fl = Option.map (fun (plan, seed) -> Faults.create ~seed plan) fplan in
-      (match chk with Some c -> Check.install c | None -> ());
-      (match fl with Some fl -> Faults.install fl | None -> ());
-      Fun.protect
-        ~finally:(fun () ->
-          (match saved_chk with
-          | Some c -> Check.install c
-          | None -> Check.uninstall ());
-          Faults.install saved_fl)
-        (fun () ->
-          let c0 = Engine.cycles_retired () in
-          let f0, s0 = Engine.sched_counters () in
-          let v = f x in
-          let f1, s1 = Engine.sched_counters () in
-          {
-            co_val = v;
-            co_cycles = Engine.cycles_retired () - c0;
-            co_fused = f1 - f0;
-            co_sched = s1 - s0;
-            co_findings =
-              (match chk with Some c -> Check.export c | None -> []);
-            co_hits = (match fl with Some fl -> Faults.hits fl | None -> [||]);
-          })
+      let v = f x in
+      (* Harvest and reset the worker's cached pair so the next cell on
+         this domain starts from the just-created state. *)
+      let findings =
+        match Check.installed () with
+        | Some c ->
+            let fs = Check.export c in
+            Check.reset c;
+            fs
+        | None -> []
+      in
+      let hits =
+        let fl = Faults.installed () in
+        if Faults.enabled fl then begin
+          let h = Faults.hits fl in
+          Faults.reset fl;
+          h
+        end
+        else [||]
+      in
+      { co_val = v; co_findings = findings; co_hits = hits }
     end
   in
-  let jobs =
-    if Trace.enabled (Trace.installed ()) then 1 else !current_jobs
-  in
-  let outs = map ~jobs run_cell xs in
+  let outs = map ~jobs ~around run_cell xs in
+  let total a = Array.fold_left ( + ) 0 a in
+  sim_cycle_acc := !sim_cycle_acc + total a_cycles;
+  fused_acc := !fused_acc + total a_fused;
+  sched_acc := !sched_acc + total a_sched;
   List.map
     (fun o ->
-      sim_cycle_acc := !sim_cycle_acc + o.co_cycles;
-      fused_acc := !fused_acc + o.co_fused;
-      sched_acc := !sched_acc + o.co_sched;
       (match main_chk with
       | Some c -> Check.absorb c o.co_findings
       | None -> ());

@@ -55,6 +55,130 @@ let prop_pqueue_sorted =
       done;
       !ok)
 
+let test_pqueue_negative_time_rejected () =
+  let q = Pqueue.create () in
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Pqueue.push: negative time") (fun () ->
+      Pqueue.push q ~time:(-1) ~seq:0 ())
+
+(* Calendar-vs-heap model battery: the same operation sequence, run under
+   every policy, must produce the identical (time, seq, payload) pop
+   sequence — and match a sorted-list reference model — across event-time
+   distributions chosen to hit every calendar path: dense (many events
+   per day), sparse (day gaps wide enough for the direct-search
+   fallback), clustered (every event in one bucket — the pathological
+   distribution Auto must refuse and Calendar must survive), and a
+   near-monotone ramp (the scheduler's own shape). Sequences are long
+   enough that Auto crosses the engage threshold and drains back, so the
+   heap->calendar->heap transitions run under the comparison too. *)
+let pqueue_ops_gen =
+  QCheck.Gen.(
+    int_range 0 3 >>= fun dist ->
+    list_size (int_range 1 600)
+      (frequency [ (3, int_range 0 1000 >|= fun t -> `Push t); (1, return `Pop) ])
+    >|= fun ops -> (dist, ops))
+
+let print_pqueue_ops (dist, ops) =
+  Printf.sprintf "dist=%d ops=[%s]" dist
+    (String.concat ";"
+       (List.map (function `Push t -> string_of_int t | `Pop -> "pop") ops))
+
+let pqueue_dist_time dist prev t =
+  match dist with
+  | 0 -> t mod 97 (* dense *)
+  | 1 -> t * 1_000_003 (* sparse *)
+  | 2 -> 42 (* clustered / pathological *)
+  | _ -> prev + (t mod 7) (* ramp *)
+
+let run_pqueue_ops policy (dist, ops) =
+  let q = Pqueue.create ~policy () in
+  let out = ref [] in
+  let seq = ref 0 in
+  let prev = ref 0 in
+  List.iter
+    (function
+      | `Push t ->
+          incr seq;
+          let time = pqueue_dist_time dist !prev t in
+          prev := time;
+          Pqueue.push q ~time ~seq:!seq !seq
+      | `Pop ->
+          if not (Pqueue.is_empty q) then begin
+            let mt = Pqueue.min_time q in
+            let ((t, _, _) as e) = Pqueue.pop q in
+            (* min_time must agree with the element pop then returns. *)
+            out := (if mt = t then e else (-1, -1, -1)) :: !out
+          end)
+    ops;
+  while not (Pqueue.is_empty q) do
+    out := Pqueue.pop q :: !out
+  done;
+  List.rev !out
+
+let run_pqueue_model (dist, ops) =
+  let live = ref [] in
+  let out = ref [] in
+  let seq = ref 0 in
+  let prev = ref 0 in
+  List.iter
+    (function
+      | `Push t ->
+          incr seq;
+          let time = pqueue_dist_time dist !prev t in
+          prev := time;
+          live := (time, !seq, !seq) :: !live
+      | `Pop -> (
+          match List.sort compare !live with
+          | [] -> ()
+          | m :: rest ->
+              live := rest;
+              out := m :: !out))
+    ops;
+  List.rev !out @ List.sort compare !live
+
+let prop_pqueue_policies_agree =
+  QCheck.Test.make
+    ~name:"heap, calendar and auto pop identical sequences (model battery)"
+    ~count:120
+    (QCheck.make ~print:print_pqueue_ops pqueue_ops_gen)
+    (fun ops ->
+      let reference = run_pqueue_model ops in
+      List.for_all
+        (fun policy -> run_pqueue_ops policy ops = reference)
+        [ Pqueue.Heap; Pqueue.Calendar; Pqueue.Auto ])
+
+(* Liveness regression for the vacated-slot fix: after popping every
+   element, the queue may pin at most one payload (the dummy captured
+   from the first push) — popped continuations must not stay reachable
+   from the internal arrays. The population crosses the Auto engage
+   threshold, so heap slots, calendar buckets and both regime
+   transitions are all covered. *)
+let test_pqueue_vacate_liveness () =
+  List.iter
+    (fun (name, policy) ->
+      let n = 300 in
+      let w = Weak.create n in
+      let q = Pqueue.create ~policy () in
+      for i = 0 to n - 1 do
+        let v = ref i in
+        Weak.set w i (Some v);
+        Pqueue.push q ~time:(i * 3) ~seq:i v
+      done;
+      let sink = ref (ref (-1)) in
+      for _ = 1 to n do
+        sink := Pqueue.drop_min q
+      done;
+      sink := ref (-1);
+      Gc.full_major ();
+      let live = ref 0 in
+      for i = 0 to n - 1 do
+        if Weak.check w i then incr live
+      done;
+      if !live > 1 then
+        Alcotest.failf "%s: %d popped payloads still reachable (allowed: 1)"
+          name !live)
+    [ ("heap", Pqueue.Heap); ("calendar", Pqueue.Calendar); ("auto", Pqueue.Auto) ]
+
 (* ------------------------------------------------------------------ *)
 (* Prng                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -231,6 +355,33 @@ let test_engine_negative_elapse_rejected () =
   Alcotest.check_raises "negative duration"
     (Invalid_argument "Engine.elapse: negative duration") (fun () -> Engine.run e)
 
+let test_engine_elapse_overflow () =
+  (* Fused path: the second elapse would wrap the core clock past
+     max_int. *)
+  let e = Engine.create ~n_cores:1 () in
+  Engine.spawn e ~core:0 (fun () ->
+      Engine.elapse (max_int - 5);
+      Engine.elapse 10);
+  Alcotest.check_raises "fused overflow"
+    (Invalid_argument "Engine.elapse: core clock overflow") (fun () ->
+      Engine.run e);
+  (* Scheduled path: same program through the enqueue/pop round-trip. *)
+  let r = Engine.create ~always_schedule:true ~n_cores:1 () in
+  Engine.spawn r ~core:0 (fun () ->
+      Engine.elapse (max_int - 5);
+      Engine.elapse 10);
+  Alcotest.check_raises "scheduled overflow"
+    (Invalid_argument "Engine.elapse: core clock overflow") (fun () ->
+      Engine.run r);
+  (* Advancing to exactly max_int is legal in both paths. *)
+  let m = Engine.create ~n_cores:1 () in
+  Engine.spawn m ~core:0 (fun () ->
+      Engine.elapse (max_int - 7);
+      Engine.elapse 7);
+  Engine.run m;
+  Alcotest.(check int) "clock may reach exactly max_int" max_int
+    (Engine.core_time m 0)
+
 let test_engine_max_time () =
   let e = Engine.create ~n_cores:4 () in
   for c = 0 to 3 do
@@ -275,17 +426,45 @@ let test_engine_heap_high_water () =
   Alcotest.(check int) "run never exceeds the spawn peak" 4
     (Engine.heap_high_water e)
 
+(* The lookahead window: with the nearest competing event 50k cycles
+   out, a core's long run of unit elapses must batch on the cached bound
+   — every one fused, no queue traffic — and still agree with the
+   always-schedule reference on clocks and event counts. *)
+let test_engine_lookahead_window () =
+  let run always_schedule =
+    let e = Engine.create ~always_schedule ~n_cores:2 () in
+    Engine.spawn e ~core:0 (fun () ->
+        for _ = 1 to 10_000 do
+          Engine.elapse 1
+        done);
+    Engine.spawn e ~core:1 (fun () -> Engine.elapse 50_000);
+    Engine.run e;
+    ( Engine.core_time e 0,
+      Engine.core_time e 1,
+      Engine.events e,
+      Engine.fused_elapses e )
+  in
+  let t0, t1, ev, fused = run false in
+  let t0', t1', ev', _ = run true in
+  Alcotest.(check (pair int int)) "clocks match reference" (t0', t1') (t0, t1);
+  Alcotest.(check int) "event count matches reference" ev' ev;
+  (* Only the first elapse of each thread can lose the race with the
+     other thread's queued start. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "long elapse run fuses (fused=%d)" fused)
+    true (fused >= 9_990)
+
 (* Fusion equivalence (QCheck): random spawn/elapse programs run
    bit-identically on the fused engine and the always-schedule reference
    — same execution log, per-core clocks, scheduling-event counts, and
    emitted trace stream (resume/spawn/finish kinds included, which the
    default filter would hide). *)
 
-let run_program ~always_schedule (n_cores, threads) =
+let run_program ?pqueue ~always_schedule (n_cores, threads) =
   let tracer = Trace.create ~filter:[ "resume"; "spawn"; "finish" ] () in
   Trace.install tracer;
   Fun.protect ~finally:Trace.uninstall (fun () ->
-      let e = Engine.create ~always_schedule ~n_cores () in
+      let e = Engine.create ?pqueue ~always_schedule ~n_cores () in
       let log = ref [] in
       List.iteri
         (fun id (core, delays) ->
@@ -339,6 +518,22 @@ let prop_fusion_equivalent =
       else if trace_f <> trace_r then
         QCheck.Test.fail_report "trace streams differ"
       else true)
+
+(* Scheduler-queue equivalence (QCheck): the queue representation must be
+   unobservable from the engine — a forced-calendar run matches a
+   forced-heap run on log, clocks, events and trace, both with fusion on
+   (the production path) and with every elapse through the queue (which
+   maximizes queue traffic). *)
+let prop_pqueue_policy_equivalent =
+  QCheck.Test.make ~name:"calendar-queue engine matches heap engine"
+    ~count:150
+    (QCheck.make ~print:print_program program_gen)
+    (fun p ->
+      List.for_all
+        (fun always_schedule ->
+          run_program ~pqueue:Pqueue.Heap ~always_schedule p
+          = run_program ~pqueue:Pqueue.Calendar ~always_schedule p)
+        [ false; true ])
 
 (* ------------------------------------------------------------------ *)
 (* Addr                                                                *)
@@ -447,7 +642,11 @@ let () =
         [
           Alcotest.test_case "order" `Quick test_pqueue_order;
           Alcotest.test_case "peek/drop" `Quick test_pqueue_peek_drop;
+          Alcotest.test_case "negative time" `Quick
+            test_pqueue_negative_time_rejected;
+          Alcotest.test_case "vacated slots" `Quick test_pqueue_vacate_liveness;
           q prop_pqueue_sorted;
+          q prop_pqueue_policies_agree;
         ] );
       ( "prng",
         [
@@ -467,13 +666,17 @@ let () =
           Alcotest.test_case "exception" `Quick test_engine_exception_propagates;
           Alcotest.test_case "elapse zero" `Quick test_engine_elapse_zero;
           Alcotest.test_case "negative elapse" `Quick test_engine_negative_elapse_rejected;
+          Alcotest.test_case "clock overflow" `Quick test_engine_elapse_overflow;
           Alcotest.test_case "max time" `Quick test_engine_max_time;
         ] );
       ( "fusion",
         [
           Alcotest.test_case "counters" `Quick test_engine_fusion_counters;
           Alcotest.test_case "heap high water" `Quick test_engine_heap_high_water;
+          Alcotest.test_case "lookahead window" `Quick
+            test_engine_lookahead_window;
           q prop_fusion_equivalent;
+          q prop_pqueue_policy_equivalent;
         ] );
       ("addr", [ Alcotest.test_case "arithmetic" `Quick test_addr_arithmetic ]);
       ( "ram",

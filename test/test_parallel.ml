@@ -78,6 +78,47 @@ let test_set_jobs_clamp () =
       Parallel.set_jobs 6;
       Alcotest.(check int) "set_jobs 6 sticks" 6 (Parallel.jobs ()))
 
+(* Chunked-claiming schedule independence: whatever the worker count and
+   claim-chunk size (pinned via ?chunk, overriding the guided rule), the
+   pool must return exactly the sequential results in submission order. *)
+let prop_chunking_schedule_independent =
+  QCheck.Test.make
+    ~name:"any (jobs, chunk) schedule matches the sequential results"
+    ~count:40
+    QCheck.(triple (int_range 1 200) (int_range 1 8) (int_range 1 64))
+    (fun (n, jobs, chunk) ->
+      with_pool (fun () ->
+          let xs = Array.init n Fun.id in
+          let expect = Array.map (fun x -> (x * 7) + 1) xs in
+          let got = Parallel.map_array ~jobs ~chunk (fun x -> (x * 7) + 1) xs in
+          got = expect))
+
+(* Fail-fast: once a sibling has failed, workers stop claiming — with
+   64 one-claim chunks and a failure on the very first cell, a
+   significant tail of the matrix must go unclaimed (each surviving cell
+   spins long enough that a non-fail-fast pool would burn all 64). The
+   lowest-index exception is still the one re-raised. *)
+let test_fail_fast_skips_tail () =
+  with_pool (fun () ->
+      let n = 64 in
+      let executed = Atomic.make 0 in
+      let thunks =
+        Array.init n (fun i () ->
+            Atomic.incr executed;
+            if i = 0 then failwith "boom-0"
+            else
+              for _ = 1 to 200_000 do
+                ignore (Sys.opaque_identity i)
+              done)
+      in
+      match Parallel.run_thunks ~jobs:2 ~chunk:1 thunks with
+      | _ -> Alcotest.fail "expected boom-0 to escape"
+      | exception Failure m ->
+          Alcotest.(check string) "lowest-index exception" "boom-0" m;
+          let ran = Atomic.get executed in
+          if ran > n / 2 then
+            Alcotest.failf "fail-fast barely skipped: %d/%d cells ran" ran n)
+
 let test_trace_forces_sequential () =
   with_pool (fun () ->
       (* Tracer rings are ordered by host emission, so cell_map must
@@ -93,6 +134,42 @@ let test_trace_forces_sequential () =
           List.iter
             (Alcotest.(check int) "cell ran on the main domain" main)
             domains))
+
+(* Pool-speedup smoke on a multi-cell fixture, measuring the pool itself
+   (raw run_thunks over pure-compute cells, no harness). With real cores
+   available, --jobs 2 must beat sequential on embarrassingly parallel
+   work; on a single-core host (CI containers, where Domain.
+   recommended_domain_count() = 1) winning is physically impossible, so
+   the assertion degrades to a bound on the pool's own overhead. *)
+let test_pool_speedup_smoke () =
+  with_pool (fun () ->
+      let cells = 8 in
+      let work i =
+        let acc = ref i in
+        for k = 1 to 2_000_000 do
+          acc := (!acc + (k * k)) lxor (!acc lsr 3)
+        done;
+        !acc
+      in
+      let time jobs =
+        let thunks = Array.init cells (fun i () -> work i) in
+        let t0 = Unix.gettimeofday () in
+        let r = Parallel.run_thunks ~jobs thunks in
+        (Unix.gettimeofday () -. t0, r)
+      in
+      ignore (time 1 : float * int array) (* warm-up *);
+      let seq, rs = time 1 in
+      let par, rp = time 2 in
+      Alcotest.(check bool) "parallel results identical" true (rs = rp);
+      if Parallel.available () >= 2 then begin
+        if par >= seq then
+          Alcotest.failf "--jobs 2 did not win: %.3fs vs %.3fs sequential" par
+            seq
+      end
+      else if par > 2.0 *. seq then
+        Alcotest.failf
+          "single-core pool overhead out of bounds: %.3fs vs %.3fs sequential"
+          par seq)
 
 (* ------------------------------------------------------------------ *)
 (* Determinism battery                                                  *)
@@ -308,8 +385,12 @@ let () =
           Alcotest.test_case "lowest-index exception" `Quick
             test_lowest_index_exception;
           Alcotest.test_case "set_jobs clamps" `Quick test_set_jobs_clamp;
+          Alcotest.test_case "fail-fast skips the tail" `Quick
+            test_fail_fast_skips_tail;
           Alcotest.test_case "trace forces sequential" `Quick
             test_trace_forces_sequential;
+          QCheck_alcotest.to_alcotest prop_chunking_schedule_independent;
+          Alcotest.test_case "pool speedup smoke" `Slow test_pool_speedup_smoke;
         ] );
       ( "determinism",
         [
