@@ -21,6 +21,10 @@ module Trace = Asf_trace.Trace
 module Check = Asf_check.Check
 module Faults = Asf_faults.Faults
 module Parallel = Asf_parallel.Parallel
+module Analyze = Asf_analyze.Analyze
+module Workloads = Asf_analyze.Workloads
+module Findings = Asf_analyze.Findings
+module Xvalidate = Asf_harness.Xvalidate
 
 (* ------------------------------------------------------------------ *)
 (* Shared mode parsing                                                  *)
@@ -95,9 +99,29 @@ let with_trace trace_file trace_filter run =
    the findings table and fail the invocation if any guarantee was
    violated. Like tracing, checking never advances simulated time, so all
    reported numbers are identical with and without it. *)
-let with_check check run =
+(* --check-json: after the run, re-emit the checker's findings as the
+   machine-readable shared record ({!Asf_analyze.Findings}), so CI can
+   diff the runtime side against the static analyzer's artifact. *)
+let write_check_json chk path =
+  let fs = Findings.of_check ~workload:"runtime" (Check.findings chk) in
+  let doc =
+    Printf.sprintf "{\n  \"schema\": \"asf-findings-v1\",\n  \"findings\": %s\n}\n"
+      (Findings.json_of_findings fs)
+  in
+  match Findings.write_json ~path doc with
+  | Ok () ->
+      Printf.printf "check-json: %s (%d finding(s))\n" path (List.length fs);
+      0
+  | Error m ->
+      Printf.eprintf "cannot write check json: %s\n" m;
+      1
+
+let with_check check check_json run =
   match check with
-  | None -> run ()
+  | None ->
+      if check_json <> None then
+        Printf.eprintf "note: --check-json has no effect without --check\n";
+      run ()
   | Some spec -> (
       let names =
         String.split_on_char ',' spec |> List.map String.trim
@@ -114,15 +138,18 @@ let with_check check run =
           Check.install chk;
           let rc = Fun.protect ~finally:Check.uninstall run in
           Report.print (Report.of_check ~id:"check" chk);
+          let jrc =
+            match check_json with None -> 0 | Some path -> write_check_json chk path
+          in
           let violations = List.length (Check.violations chk) in
           if violations > 0 then begin
             Printf.printf "check: %d violation(s)\n" violations;
-            max rc 1
+            max (max rc jrc) 1
           end
           else begin
             Printf.printf "check: clean (%d advisory finding(s))\n"
               (List.length (Check.advisories chk));
-            rc
+            max rc jrc
           end)
 
 (* ------------------------------------------------------------------ *)
@@ -195,7 +222,7 @@ let run_one ~quick ~seed ~csv id =
       Printf.printf "[%s done in %.1fs host time]\n%!" id (Unix.gettimeofday () -. t0);
       0
 
-let repro ids all quick seed csv do_list trace tfilter check faults fseed jobs =
+let repro ids all quick seed csv do_list trace tfilter check check_json faults fseed jobs =
   (* 0 = auto: one worker per recommended domain; the pool clamps to the
      number of cells of each fan-out anyway. The report is bit-identical
      for every value (see DESIGN.md, "The determinism contract"). *)
@@ -210,7 +237,7 @@ let repro ids all quick seed csv do_list trace tfilter check faults fseed jobs =
     else
       with_faults faults fseed (fun () ->
           with_trace trace tfilter (fun () ->
-              with_check check (fun () ->
+              with_check check check_json (fun () ->
                   List.fold_left
                     (fun rc id ->
                       max rc (catch_livelock (fun () -> run_one ~quick ~seed ~csv id)))
@@ -221,10 +248,10 @@ let repro ids all quick seed csv do_list trace tfilter check faults fseed jobs =
 (* ------------------------------------------------------------------ *)
 
 let run_intset mode structure range updates threads txns early_release seed trace tfilter
-    check faults fseed =
+    check check_json faults fseed =
   with_faults faults fseed @@ fun () ->
   with_trace trace tfilter @@ fun () ->
-  with_check check @@ fun () ->
+  with_check check check_json @@ fun () ->
   catch_livelock @@ fun () ->
   let structure =
     match structure with
@@ -270,10 +297,10 @@ let run_intset mode structure range updates threads txns early_release seed trac
 (* stamp                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_stamp app mode threads scale seed trace tfilter check faults fseed =
+let run_stamp app mode threads scale seed trace tfilter check check_json faults fseed =
   with_faults faults fseed @@ fun () ->
   with_trace trace tfilter @@ fun () ->
-  with_check check @@ fun () ->
+  with_check check check_json @@ fun () ->
   catch_livelock @@ fun () ->
   match (Stamp.of_name app, List.assoc_opt mode modes) with
   | None, _ ->
@@ -294,6 +321,171 @@ let run_stamp app mode threads scale seed trace tfilter check faults fseed =
             (if passed then "ok" else "FAILED"))
         r.C.checks;
       if C.ok r then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Txstatic: run the static analyzer over workload models, print the
+   per-class access summaries with a capacity verdict per hardware
+   variant, cross-validate the verdicts against the runtime abort census
+   of the workloads that have a real twin, and write the whole result as
+   ANALYZE_asf.json. Exit 1 on any violation: an unsafe annotation, a
+   restart hazard, release misuse, or a static-fits/runtime-abort
+   contradiction (the latter is an analyzer bug by construction). *)
+let run_analyze json_path seed txns no_xcheck names fixtures =
+  catch_livelock @@ fun () ->
+  let params = Asf_machine.Params.barcelona in
+  let resolve acc n =
+    match acc with
+    | Error _ -> acc
+    | Ok ws -> (
+        match Workloads.find n with Some w -> Ok (w :: ws) | None -> Error n)
+  in
+  let chosen =
+    match names with
+    | [] -> Ok (Workloads.stock @ if fixtures then Workloads.fixtures else [])
+    | ns -> Result.map List.rev (List.fold_left resolve (Ok []) ns)
+  in
+  match chosen with
+  | Error n ->
+      let names ws = String.concat ", " (List.map (fun w -> w.Workloads.w_name) ws) in
+      Printf.eprintf "unknown workload %S\n  stock: %s\n  fixtures: %s\n" n
+        (names Workloads.stock) (names Workloads.fixtures);
+      1
+  | Ok workloads ->
+      let seeds = [ seed; seed + 1; seed + 2 ] in
+      let t = Analyze.run ~seeds ~txns ~params workloads in
+      let vnames = List.map (fun v -> v.Variant.name) Analyze.variants in
+      let class_row wr cs =
+        let verdicts =
+          List.map
+            (fun variant ->
+              Analyze.verdict_name (Analyze.capacity_verdict ~params ~variant cs))
+            Analyze.variants
+        in
+        let tags =
+          List.filter
+            (fun (_, n) -> n > 0)
+            [
+              ("rel", cs.Analyze.cs_releases);
+              ("reread", cs.Analyze.cs_rereads);
+              ("alloc", cs.Analyze.cs_allocs);
+              ("DIVERGED", cs.Analyze.cs_diverged);
+            ]
+        in
+        let notes =
+          if tags = [] then "-"
+          else String.concat " " (List.map (fun (k, n) -> Printf.sprintf "%s:%d" k n) tags)
+        in
+        [
+          wr.Analyze.wr_workload;
+          cs.Analyze.cs_class;
+          string_of_int cs.Analyze.cs_execs;
+          string_of_int cs.Analyze.cs_rd_max;
+          string_of_int cs.Analyze.cs_wr_max;
+          Printf.sprintf "%d..%d" cs.Analyze.cs_peak_min cs.Analyze.cs_peak_max;
+          string_of_int cs.Analyze.cs_all_set_occ;
+        ]
+        @ verdicts @ [ notes ]
+      in
+      Report.print
+        (Report.make ~id:"analyze"
+           ~title:
+             (Printf.sprintf
+                "Txstatic access summaries and capacity verdicts (seeds %s, %d txns/seed)"
+                (String.concat "," (List.map string_of_int seeds))
+                txns)
+           ~notes:
+             [
+               "peak counts protected lines at their worst moment; every hw attempt \
+                adds 1 ABI line (serial-lock subscription)";
+               "l1set = worst per-L1-set occupancy over all touched lines";
+             ]
+           ([ "workload"; "class"; "execs"; "rd"; "wr"; "peak"; "l1set" ]
+           @ vnames @ [ "notes" ])
+           (List.concat_map
+              (fun wr -> List.map (class_row wr) wr.Analyze.wr_classes)
+              t.Analyze.a_reports));
+      let censuses, contradictions, xnotes =
+        if no_xcheck then ([], [], [])
+        else Xvalidate.cross_validate ~seed t
+      in
+      if censuses <> [] then
+        Report.print
+          (Report.make ~id:"xvalidate"
+             ~title:"Runtime capacity-abort census vs static verdict" ~notes:xnotes
+             [ "workload"; "variant"; "attempts"; "cap-aborts"; "max-fp"; "static" ]
+             (List.map
+                (fun c ->
+                  let wr =
+                    List.find
+                      (fun wr -> wr.Analyze.wr_workload = c.Xvalidate.v_workload)
+                      t.Analyze.a_reports
+                  in
+                  [
+                    c.Xvalidate.v_workload;
+                    c.Xvalidate.v_variant.Variant.name;
+                    string_of_int c.Xvalidate.v_attempts;
+                    string_of_int c.Xvalidate.v_cap_aborts;
+                    string_of_int c.Xvalidate.v_max_footprint;
+                    Analyze.verdict_name
+                      (Analyze.workload_verdict ~params
+                         ~variant:c.Xvalidate.v_variant wr);
+                  ])
+                censuses));
+      let all_findings = Analyze.findings t @ contradictions in
+      Report.print
+        (Report.make ~id:"analyze-findings" ~title:"Txstatic findings"
+           ~notes:
+             (List.map
+                (fun f -> f.Findings.f_kind ^ ": " ^ f.Findings.f_detail)
+                all_findings)
+           [ "source"; "severity"; "kind"; "workload"; "class"; "variant"; "line"; "count" ]
+           (match all_findings with
+           | [] -> [ [ "-"; "-"; "clean"; "-"; "-"; "-"; "-"; "0" ] ]
+           | fs ->
+               List.map
+                 (fun f ->
+                   [
+                     (match f.Findings.f_source with
+                     | Findings.Static -> "static"
+                     | Findings.Runtime -> "runtime");
+                     f.Findings.f_severity;
+                     f.Findings.f_kind;
+                     f.Findings.f_workload;
+                     (if f.Findings.f_class = "" then "-" else f.Findings.f_class);
+                     (if f.Findings.f_variant = "" then "-" else f.Findings.f_variant);
+                     (match f.Findings.f_line with
+                     | Some l -> string_of_int l
+                     | None -> "-");
+                     string_of_int f.Findings.f_count;
+                   ])
+                 fs));
+      let wrc =
+        match
+          Findings.write_json ~path:json_path
+            (Analyze.artifact_json t ~extra:contradictions)
+        with
+        | Ok () ->
+            Printf.printf "analyze: %s (%d workload(s), %d finding(s))\n" json_path
+              (List.length t.Analyze.a_reports)
+              (List.length all_findings);
+            0
+        | Error m ->
+            Printf.eprintf "cannot write %s: %s\n" json_path m;
+            1
+      in
+      let violations = List.filter Findings.is_violation all_findings in
+      if violations <> [] then begin
+        Printf.printf "analyze: %d violation(s)\n" (List.length violations);
+        max wrc 1
+      end
+      else begin
+        Printf.printf "analyze: clean (%d advisory finding(s))\n"
+          (List.length all_findings);
+        wrc
+      end
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                    *)
@@ -338,6 +530,14 @@ let check_arg =
               subset (default: all). Checking never advances simulated time, so \
               all reported numbers are identical with and without it; the exit \
               code is non-zero if any guarantee was violated.")
+
+let check_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "check-json" ] ~docv:"FILE"
+           ~doc:
+             "With $(b,--check): also write the checker's findings to $(docv) as \
+              machine-readable JSON, one record per finding in the same shape the \
+              static analyzer emits (see $(b,asf_bench analyze)).")
 
 let faults_arg =
   Arg.(value & opt (some string) None
@@ -384,7 +584,8 @@ let repro_cmd =
     (Cmd.info "repro" ~doc:"Reproduce the paper's tables and figures")
     Term.(
       const repro $ ids $ all $ quick $ seed_arg $ csv $ list $ trace_arg
-      $ trace_filter_arg $ check_arg $ faults_arg $ faults_seed_arg $ jobs_arg)
+      $ trace_filter_arg $ check_arg $ check_json_arg $ faults_arg $ faults_seed_arg
+      $ jobs_arg)
 
 let intset_cmd =
   let structure =
@@ -404,8 +605,8 @@ let intset_cmd =
     (Cmd.info "intset" ~doc:"Run one IntegerSet configuration")
     Term.(
       const run_intset $ mode_arg $ structure $ range $ updates $ threads_arg $ txns $ er
-      $ seed_arg $ trace_arg $ trace_filter_arg $ check_arg $ faults_arg
-      $ faults_seed_arg)
+      $ seed_arg $ trace_arg $ trace_filter_arg $ check_arg $ check_json_arg
+      $ faults_arg $ faults_seed_arg)
 
 let stamp_cmd =
   let app_arg =
@@ -419,7 +620,43 @@ let stamp_cmd =
     (Cmd.info "stamp" ~doc:"Run one STAMP application")
     Term.(
       const run_stamp $ app_arg $ mode_arg $ threads_arg $ scale $ seed_arg $ trace_arg
-      $ trace_filter_arg $ check_arg $ faults_arg $ faults_seed_arg)
+      $ trace_filter_arg $ check_arg $ check_json_arg $ faults_arg $ faults_seed_arg)
+
+let analyze_cmd =
+  let json =
+    Arg.(value & opt string "ANALYZE_asf.json"
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the analysis artifact (summaries, verdicts, findings) to $(docv).")
+  in
+  let txns =
+    Arg.(value & opt int 240
+         & info [ "txns" ] ~docv:"N"
+             ~doc:"Abstract transactions to explore per workload and seed.")
+  in
+  let no_xcheck =
+    Arg.(value & flag
+         & info [ "no-xcheck" ]
+             ~doc:
+               "Skip the runtime cross-validation (static verdicts against the \
+                capacity-abort census of the workloads with a real twin).")
+  in
+  let workloads =
+    Arg.(value & opt_all string []
+         & info [ "w"; "workload" ] ~docv:"NAME"
+             ~doc:"Analyze only $(docv) (repeatable; default: every stock workload).")
+  in
+  let fixtures =
+    Arg.(value & flag
+         & info [ "fixtures" ]
+             ~doc:
+               "Also analyze the deliberately broken fixtures (unsafe annotation, \
+                over-capacity, restart hazard, reread-after-release); their \
+                violations make the exit code non-zero by design.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Statically analyze transaction footprints and annotations (Txstatic)")
+    Term.(const run_analyze $ json $ seed_arg $ txns $ no_xcheck $ workloads $ fixtures)
 
 let main_cmd =
   let doc =
@@ -429,17 +666,19 @@ let main_cmd =
   Cmd.group
     ~default:
       Term.(
-        const (fun ids all quick seed csv list trace tfilter check faults fseed jobs ->
-            repro ids all quick seed csv list trace tfilter check faults fseed jobs)
+        const (fun ids all quick seed csv list trace tfilter check cjson faults fseed
+                   jobs ->
+            repro ids all quick seed csv list trace tfilter check cjson faults fseed
+              jobs)
         $ Arg.(value & opt_all string [] & info [ "e"; "experiment" ] ~docv:"ID")
         $ Arg.(value & flag & info [ "all" ])
         $ Arg.(value & flag & info [ "quick" ])
         $ seed_arg
         $ Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR")
         $ Arg.(value & flag & info [ "list" ])
-        $ trace_arg $ trace_filter_arg $ check_arg $ faults_arg $ faults_seed_arg
-        $ jobs_arg)
+        $ trace_arg $ trace_filter_arg $ check_arg $ check_json_arg $ faults_arg
+        $ faults_seed_arg $ jobs_arg)
     (Cmd.info "asf_bench" ~doc)
-    [ repro_cmd; intset_cmd; stamp_cmd ]
+    [ repro_cmd; intset_cmd; stamp_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

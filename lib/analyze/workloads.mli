@@ -1,0 +1,52 @@
+(** Stock-workload models for the static analyzer.
+
+    A workload is a set of {e transaction classes}: named closures over
+    shared abstract state, each the body of one kind of atomic block the
+    benchmark executes. The intset family and the transactional cores of
+    bank run the {e real} data-structure code (via {!Asf_dstruct.Ops.dry});
+    the STAMP entries model each application's atomic blocks — the same
+    structures, record sizes and access shapes as the timed benchmarks,
+    without the surrounding phase machinery.
+
+    Class bodies draw all inputs through {!Amem.actx.rand} so a restart
+    (the analyzer's double execution) replays them identically. *)
+
+type txclass = {
+  c_name : string;
+  c_weight : int;  (** relative frequency in the exploration schedule *)
+  c_body : Amem.actx -> unit;
+}
+
+type t = {
+  w_name : string;
+  w_er : bool;  (** early release wired into the capability record *)
+  w_make : Amem.t -> seed:int -> txclass list;
+      (** Build the workload's shared state in the abstract memory
+          (unrecorded setup, seeded like the runtime benchmark) and
+          return its classes. *)
+}
+
+(** {1 Shared intset parameters}
+
+    Used verbatim by the runtime cross-validation runs, so static and
+    dynamic sides analyze the same configuration. *)
+
+val intset_range : int
+
+val intset_update_pct : int
+
+val intset_init : int
+
+val intset_buckets : int
+
+val stock : t list
+(** Every stock workload: the intset family (plus the early-release
+    linked list), bank, and the eight STAMP applications. *)
+
+val fixtures : t list
+(** Deliberately broken workloads for negative tests: unsafe annotation,
+    an over-capacity transaction, a host-state restart hazard, and a
+    released-then-reread line. Never part of {!stock}. *)
+
+val find : string -> t option
+(** By name, searching {!stock} then {!fixtures}. *)

@@ -67,6 +67,23 @@ let release t line =
   end
   else false
 
+let read_count t = Hashtbl.length t.reads
+
+let protected_lines t =
+  let ls = Hashtbl.fold (fun l () acc -> l :: acc) t.reads [] in
+  let ls = Hashtbl.fold (fun l _ acc -> l :: acc) t.writes ls in
+  List.sort compare ls
+
+(* L1 geometry, for the hybrid variants whose read (and, cache-based,
+   write) sets live in the data cache rather than the LLB. The mapping
+   must agree with [Asf_cache.Cache.create_bytes]/its power-of-two set
+   indexing, but is exposed here so capacity analysis needs no cache
+   instance. *)
+
+let l1_sets (p : Asf_machine.Params.t) = p.l1_bytes / (p.l1_assoc * p.line_bytes)
+
+let set_index (p : Asf_machine.Params.t) line = line land (l1_sets p - 1)
+
 let iter_written t f = Hashtbl.iter f t.writes
 
 let written_count t = Hashtbl.length t.writes

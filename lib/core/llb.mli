@@ -47,6 +47,31 @@ val release : t -> int -> bool
     leaves the buffer unchanged — if the line is absent or written:
     a pending speculative store cannot be cancelled. *)
 
+val read_count : t -> int
+(** Number of read-only protected lines ([entries t - written_count t]). *)
+
+val protected_lines : t -> int list
+(** All currently protected line indices, ascending (diagnostics and
+    capacity analysis). *)
+
+(** {1 L1 set geometry}
+
+    The hybrid variants ({!Variant.l1_read_set} / cache-based) keep part
+    of the protected set in the L1 data cache, so their capacity limit is
+    per-{e set} associativity, not an entry count. These helpers expose
+    the line-to-set mapping used by {!Asf_cache.Cache.create_bytes}
+    without needing a cache instance — the static analyzer predicts
+    set-conflict evictions from them. *)
+
+val l1_sets : Asf_machine.Params.t -> int
+(** Number of L1 sets: [l1_bytes / (l1_assoc * line_bytes)], a power of
+    two for every machine profile. *)
+
+val set_index : Asf_machine.Params.t -> int -> int
+(** [set_index params line] is the L1 set a cache-line index maps to:
+    [line land (l1_sets params - 1)], matching the cache directory's
+    power-of-two indexing. *)
+
 val iter_written : t -> (int -> int array -> unit) -> unit
 (** Iterates over written lines and their backups (abort rollback). *)
 

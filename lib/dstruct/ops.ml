@@ -22,6 +22,10 @@ let tx ctx =
 
 let tx_er ctx = { (tx ctx) with release = Tm.release ctx }
 
+let dry ~ld ~st ~alloc ?(free = fun _ _ -> ()) ?(release = fun _ -> ())
+    ?(rand_bits = fun () -> 0) () =
+  { ld; st; alloc; free; release; rand_bits }
+
 let setup sys =
   let rng = Prng.create 0x5e70 in
   {

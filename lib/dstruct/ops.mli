@@ -25,5 +25,21 @@ val tx : Asf_tm_rt.Tm.ctx -> t
 val tx_er : Asf_tm_rt.Tm.ctx -> t
 (** Transactional operations with early release enabled. *)
 
+val dry :
+  ld:(Asf_mem.Addr.t -> int) ->
+  st:(Asf_mem.Addr.t -> int -> unit) ->
+  alloc:(int -> Asf_mem.Addr.t) ->
+  ?free:(Asf_mem.Addr.t -> int -> unit) ->
+  ?release:(Asf_mem.Addr.t -> unit) ->
+  ?rand_bits:(unit -> int) ->
+  unit ->
+  t
+(** Abstract capability record over caller-supplied operations — no
+    runtime context at all. The static analyzer ({!Asf_analyze})
+    interprets data-structure code against its shadow memory through
+    this constructor, so every structure written once against {!t} is
+    analyzable with zero per-structure changes. [free] and [release]
+    default to no-ops, [rand_bits] to a constant [0]. *)
+
 val setup : Asf_tm_rt.Tm.system -> t
 (** Untimed setup operations; allocation pre-maps pages. *)

@@ -20,6 +20,12 @@ for mode in llb256 stm phased; do
 done
 dune build @check
 
+# Static transaction analysis: Txstatic over every stock workload model,
+# cross-validated against the runtime capacity-abort census. An unsafe
+# annotation, restart hazard, release misuse, or a static-fits/
+# runtime-abort contradiction fails the build.
+dune build @analyze
+
 # Fault-injection soak matrix: every named plan over intset + STAMP,
 # each under --check; correctness violations or a watchdog livelock
 # (exit 3) fail the build.
