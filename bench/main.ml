@@ -20,6 +20,10 @@
 module Experiments = Asf_harness.Experiments
 module Report = Asf_harness.Report
 module Parallel = Asf_parallel.Parallel
+module Serve = Asf_serve.Serve
+module Tm = Asf_tm_rt.Tm
+module Variant = Asf_core.Variant
+module Params = Asf_machine.Params
 open Bechamel
 open Toolkit
 
@@ -188,10 +192,60 @@ let part1 () =
   (timings, par_jobs, !failures)
 
 (* ------------------------------------------------------------------ *)
+(* Serve metrics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One pinned overload scenario (kv-e at 2.5x measured capacity, tight
+   deadlines, small queues) whose robustness censuses are embedded in
+   BENCH_asf.json, so a regression in shedding, deadline enforcement or
+   the governor shows up as a diff in the artifact rather than only as a
+   slower run. Purely seed-determined. *)
+let serve_scenario () =
+  let threads = 4 in
+  let tm =
+    {
+      (Tm.default_config (Tm.Asf_mode Variant.llb256) ~n_cores:threads) with
+      Tm.seed = !seed;
+    }
+  in
+  let deadline =
+    int_of_float (4.0 *. tm.Tm.params.Params.ghz *. 1000.)
+  in
+  let base =
+    {
+      (Serve.default_cfg (Serve.Kv Serve.E)) with
+      Serve.requests = (if !quick then 400 else 1500);
+      queue_cap = 8;
+      deadline = Some deadline;
+    }
+  in
+  let capacity = Serve.measure_capacity tm ~threads base in
+  let cycles_per_ms = 1.0 /. Params.cycles_to_ms tm.Tm.params 1 in
+  let mean_gap =
+    max 1 (int_of_float (cycles_per_ms /. Float.max 1e-9 (capacity *. 2.5)))
+  in
+  Serve.run tm ~threads { base with Serve.arrival = Serve.Poisson { mean_gap } }
+
+let json_of_serve (r : Serve.result) =
+  Printf.sprintf
+    "  \"serve\": {\"service\": %S, \"arrivals\": %d, \"completed\": %d, \
+     \"shed\": %d, \"timeout\": %d, \"late\": %d, \"retries\": %d, \
+     \"timeout_aborts\": %d, \"max_depth\": %d, \"p50\": %d, \"p99\": %d, \
+     \"p999\": %d, \"offered_req_ms\": %.3f, \"achieved_req_ms\": %.3f, \
+     \"gov_final\": %S, \"gov_to_shed\": %d, \"gov_to_serial\": %d, \
+     \"gov_recovered\": %d, \"invariant_ok\": %b},\n"
+    r.Serve.r_service r.Serve.r_arrivals r.Serve.r_completed r.Serve.r_shed
+    r.Serve.r_timeout r.Serve.r_late r.Serve.r_retries r.Serve.r_timeout_aborts
+    r.Serve.r_max_depth r.Serve.r_p50 r.Serve.r_p99 r.Serve.r_p999
+    r.Serve.r_offered r.Serve.r_achieved r.Serve.r_final_gov
+    r.Serve.r_gov_to_shed r.Serve.r_gov_to_serial r.Serve.r_gov_recovered
+    r.Serve.r_invariant_ok
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_asf.json                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let json_of_timings timings ~par_jobs =
+let json_of_timings timings ~par_jobs ~serve =
   let buf = Buffer.create 4096 in
   let total f = List.fold_left (fun acc t -> acc +. f t) 0.0 timings in
   let seq_total = total (fun t -> t.seq_seconds) in
@@ -222,6 +276,7 @@ let json_of_timings timings ~par_jobs =
            (if i = List.length timings - 1 then "" else ",")))
     timings;
   Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf (json_of_serve serve);
   Buffer.add_string buf
     (Printf.sprintf
        "  \"totals\": {\"seq_seconds\": %.3f, \"par_seconds\": %.3f, \
@@ -271,14 +326,16 @@ let validate_json s =
             "experiments"; "totals"; "seq_seconds"; "par_seconds"; "speedup";
             "sim_cycles"; "seq_cycles_per_sec"; "par_cycles_per_sec";
             "fused_elapses"; "scheduled_elapses"; "fused_ratio";
-            "deterministic";
+            "deterministic"; "serve"; "arrivals"; "completed"; "shed";
+            "timeout"; "timeout_aborts"; "max_depth"; "p50"; "p99";
+            "offered_req_ms"; "achieved_req_ms"; "gov_final"; "invariant_ok";
           ]
       in
       if missing = [] then Ok ()
       else Error ("missing keys: " ^ String.concat ", " missing)
 
-let write_bench_json timings ~par_jobs =
-  let json = json_of_timings timings ~par_jobs in
+let write_bench_json timings ~par_jobs ~serve =
+  let json = json_of_timings timings ~par_jobs ~serve in
   match
     let oc = open_out !out_file in
     output_string oc json;
@@ -368,10 +425,34 @@ let speedup_gate timings =
       ]
   end
 
+(* The serve scenario's own acceptance gates: outcome partition, service
+   invariant, bounded queues — a broken robustness path fails the bench
+   even if every timing is fine. *)
+let serve_gate (r : Serve.result) =
+  Printf.printf
+    "serve scenario: %s %d arrivals -> %d completed / %d shed / %d timeout, \
+     gov=%s, invariant %s\n%!"
+    r.Serve.r_service r.Serve.r_arrivals r.Serve.r_completed r.Serve.r_shed
+    r.Serve.r_timeout r.Serve.r_final_gov
+    (if r.Serve.r_invariant_ok then "ok" else "FAILED");
+  List.concat
+    [
+      (if r.Serve.r_completed + r.Serve.r_shed + r.Serve.r_timeout
+          = r.Serve.r_arrivals
+       then []
+       else [ "serve: outcome partition violated" ]);
+      (if r.Serve.r_invariant_ok then []
+       else [ "serve: service invariant violated: " ^ r.Serve.r_invariant_msg ]);
+      (if r.Serve.r_shed + r.Serve.r_timeout > 0 then []
+       else [ "serve: 2.5x overload produced no shed or timeout" ]);
+    ]
+
 let () =
   let timings, par_jobs, failures = part1 () in
   let failures = failures @ speedup_gate timings in
-  let failures = failures @ write_bench_json timings ~par_jobs in
+  let serve = serve_scenario () in
+  let failures = failures @ serve_gate serve in
+  let failures = failures @ write_bench_json timings ~par_jobs ~serve in
   if not !skip_bechamel then part2 ();
   if failures <> [] then begin
     Printf.eprintf "\nbench: FAILED\n";

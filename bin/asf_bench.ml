@@ -25,6 +25,8 @@ module Analyze = Asf_analyze.Analyze
 module Workloads = Asf_analyze.Workloads
 module Findings = Asf_analyze.Findings
 module Xvalidate = Asf_harness.Xvalidate
+module Serve = Asf_serve.Serve
+module Params = Asf_machine.Params
 
 (* ------------------------------------------------------------------ *)
 (* Shared mode parsing                                                  *)
@@ -102,8 +104,18 @@ let with_trace trace_file trace_filter run =
 (* --check-json: after the run, re-emit the checker's findings as the
    machine-readable shared record ({!Asf_analyze.Findings}), so CI can
    diff the runtime side against the static analyzer's artifact. *)
+(* When the progress watchdog killed the run, its diagnosis is parked
+   here so the --check-json artifact can carry the structured livelock
+   findings alongside the checker's own. *)
+let last_livelock : Tm.diagnosis option ref = ref None
+
 let write_check_json chk path =
   let fs = Findings.of_check ~workload:"runtime" (Check.findings chk) in
+  let fs =
+    match !last_livelock with
+    | None -> fs
+    | Some d -> fs @ Findings.of_livelock ~workload:"runtime" d
+  in
   let doc =
     Printf.sprintf "{\n  \"schema\": \"asf-findings-v1\",\n  \"findings\": %s\n}\n"
       (Findings.json_of_findings fs)
@@ -188,6 +200,7 @@ let with_faults fspec fseed run =
 let catch_livelock f =
   try f ()
   with Tm.Livelock d ->
+    last_livelock := Some d;
     Format.eprintf "%a@." Tm.pp_diagnosis d;
     3
 
@@ -321,6 +334,154 @@ let run_stamp app mode threads scale seed trace tfilter check check_json faults 
             (if passed then "ok" else "FAILED"))
         r.C.checks;
       if C.ok r then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything printed here is a function of simulated time and the seeds
+   only (no host clocks), so two same-seed invocations are byte-identical
+   — the @serve-smoke alias compares them with cmp. *)
+let print_serve_result (r : Serve.result) =
+  Printf.printf "serve %s: arrivals=%d completed=%d shed=%d timeout=%d late=%d\n"
+    r.Serve.r_service r.Serve.r_arrivals r.Serve.r_completed r.Serve.r_shed
+    r.Serve.r_timeout r.Serve.r_late;
+  Printf.printf "  latency cycles: p50=%d p90=%d p99=%d p999=%d max=%d mean=%.1f\n"
+    r.Serve.r_p50 r.Serve.r_p90 r.Serve.r_p99 r.Serve.r_p999 r.Serve.r_max_lat
+    r.Serve.r_mean_lat;
+  Printf.printf "  offered=%.3f req/ms achieved=%.3f req/ms span=%d makespan=%d\n"
+    r.Serve.r_offered r.Serve.r_achieved r.Serve.r_span r.Serve.r_makespan;
+  let h = r.Serve.r_retry_hist in
+  Printf.printf
+    "  retries=%d hist[0,1,2-3,4-7,8+]=%d,%d,%d,%d,%d timeout-aborts=%d\n"
+    r.Serve.r_retries h.(0) h.(1) h.(2) h.(3) h.(4) r.Serve.r_timeout_aborts;
+  Printf.printf
+    "  governor: final=%s to-shed=%d to-serial=%d recovered=%d serial-served=%d \
+     max-depth=%d max-dl-wait=%d\n"
+    r.Serve.r_final_gov r.Serve.r_gov_to_shed r.Serve.r_gov_to_serial
+    r.Serve.r_gov_recovered r.Serve.r_serial_served r.Serve.r_max_depth
+    r.Serve.r_max_dl_wait;
+  Printf.printf "  invariant: %s (%s)\n"
+    (if r.Serve.r_invariant_ok then "ok" else "FAILED")
+    r.Serve.r_invariant_msg;
+  print_stats r.Serve.r_stats;
+  if r.Serve.r_invariant_ok then 0 else 1
+
+let us_to_cycles (p : Params.t) us = int_of_float (float_of_int us *. p.Params.ghz *. 1000.)
+
+let run_serve service mode threads requests arrival gap load queue_cap deadline_us
+    no_governor sweep_arg seed trace tfilter check check_json faults fseed =
+  with_faults faults fseed @@ fun () ->
+  with_trace trace tfilter @@ fun () ->
+  with_check check check_json @@ fun () ->
+  catch_livelock @@ fun () ->
+  match (Serve.service_of_string service, List.assoc_opt mode modes) with
+  | Error m, _ ->
+      Printf.eprintf "%s\n" m;
+      1
+  | _, None ->
+      Printf.eprintf "unknown mode (%s)\n" mode_names;
+      1
+  | Ok service, Some tm_mode -> (
+      let tm = { (Tm.default_config tm_mode ~n_cores:threads) with Tm.seed } in
+      let base =
+        {
+          (Serve.default_cfg service) with
+          Serve.requests;
+          queue_cap;
+          governor = not no_governor;
+          deadline = Option.map (us_to_cycles tm.Tm.params) deadline_us;
+        }
+      in
+      match sweep_arg with
+      | Some mults_spec -> (
+          let mults =
+            String.split_on_char ',' mults_spec |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+            |> List.filter_map float_of_string_opt
+          in
+          match mults with
+          | [] ->
+              Printf.eprintf
+                "--sweep needs a comma-separated list of load multipliers (e.g. \
+                 0.5,0.9,1.5,2)\n";
+              1
+          | mults ->
+              let results, knee = Serve.sweep tm ~threads base ~mults in
+              Report.print
+                (Report.make ~id:"serve-sweep"
+                   ~title:
+                     (Printf.sprintf
+                        "Throughput vs offered load: %s, %d threads, mode %s"
+                        (Serve.service_name service) threads mode)
+                   ~notes:
+                     [
+                       (match knee with
+                       | Some k -> Printf.sprintf "knee: %.3f req/ms" k
+                       | None -> "knee: not reached in this range");
+                     ]
+                   [
+                     "mult"; "offered"; "achieved"; "p50"; "p99"; "shed"; "timeout";
+                     "gov-final";
+                   ]
+                   (List.map
+                      (fun (m, (r : Serve.result)) ->
+                        [
+                          Printf.sprintf "%.2f" m;
+                          Printf.sprintf "%.3f" r.Serve.r_offered;
+                          Printf.sprintf "%.3f" r.Serve.r_achieved;
+                          string_of_int r.Serve.r_p50;
+                          string_of_int r.Serve.r_p99;
+                          string_of_int r.Serve.r_shed;
+                          string_of_int r.Serve.r_timeout;
+                          r.Serve.r_final_gov;
+                        ])
+                      results));
+              if List.for_all (fun (_, r) -> r.Serve.r_invariant_ok) results then 0
+              else 1)
+      | None ->
+          let cfg =
+            let named g =
+              match arrival with
+              | "poisson" -> Ok (Serve.Poisson { mean_gap = g })
+              | "bursty" ->
+                  (* Heavy bursts at a quarter of the nominal gap, quiet
+                     phases at four times; windows sized so several bursts
+                     fit in a run. *)
+                  Ok
+                    (Serve.Bursty
+                       {
+                         mean_gap = g * 4;
+                         burst_gap = max 1 (g / 4);
+                         on_window = g * requests / 8;
+                         off_window = g * requests / 8;
+                       })
+              | "ramp" ->
+                  Ok
+                    (Serve.Ramp
+                       { low_gap = max 1 (g / 2); high_gap = g * 4; period = g * requests / 2 })
+              | "closed" -> Ok Serve.Closed
+              | a ->
+                  Error
+                    (Printf.sprintf
+                       "unknown arrival %S (valid: poisson, bursty, ramp, closed)" a)
+            in
+            match load with
+            | Some mult ->
+                let capacity = Serve.measure_capacity tm ~threads base in
+                let cycles_per_ms = 1.0 /. Params.cycles_to_ms tm.Tm.params 1 in
+                let g =
+                  max 1
+                    (int_of_float (cycles_per_ms /. Float.max 1e-9 (capacity *. mult)))
+                in
+                named g
+            | None -> named gap
+          in
+          match cfg with
+          | Error m ->
+              Printf.eprintf "%s\n" m;
+              1
+          | Ok arrival -> print_serve_result (Serve.run tm ~threads { base with Serve.arrival }))
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                              *)
@@ -622,6 +783,67 @@ let stamp_cmd =
       const run_stamp $ app_arg $ mode_arg $ threads_arg $ scale $ seed_arg $ trace_arg
       $ trace_filter_arg $ check_arg $ check_json_arg $ faults_arg $ faults_seed_arg)
 
+let serve_cmd =
+  let service =
+    Arg.(value & opt string "kv-a"
+         & info [ "service" ] ~docv:"S"
+             ~doc:"Service: kv-a .. kv-f (YCSB-style mixes) or ledger.")
+  in
+  let requests =
+    Arg.(value & opt int 2000 & info [ "requests"; "n" ] ~docv:"N" ~doc:"Total arrivals.")
+  in
+  let arrival =
+    Arg.(value & opt string "poisson"
+         & info [ "arrival" ] ~docv:"A"
+             ~doc:"Arrival process: poisson, bursty, ramp, or closed.")
+  in
+  let gap =
+    Arg.(value & opt int 300
+         & info [ "gap" ] ~docv:"CYCLES"
+             ~doc:"Nominal mean inter-arrival gap in cycles (ignored with $(b,--load)).")
+  in
+  let load =
+    Arg.(value & opt (some float) None
+         & info [ "load" ] ~docv:"MULT"
+             ~doc:
+               "Offered load as a multiple of measured capacity: first run a \
+                closed-loop capacity probe, then derive the arrival gap so that \
+                offered = $(docv) x capacity (2.0 = sustained 2x overload).")
+  in
+  let queue_cap =
+    Arg.(value & opt int 64
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"Per-core run-queue bound; arrivals beyond it are shed.")
+  in
+  let deadline_us =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-us" ] ~docv:"US"
+             ~doc:
+               "Per-request deadline in microseconds of simulated time; a request \
+                past it stops retrying and reports a timeout.")
+  in
+  let no_governor =
+    Arg.(value & flag
+         & info [ "no-governor" ]
+             ~doc:"Disable the overload governor (fixed admission cap, no serial \
+                   fallback).")
+  in
+  let sweep =
+    Arg.(value & opt (some string) None
+         & info [ "sweep" ] ~docv:"MULTS"
+             ~doc:
+               "Comma-separated capacity multipliers (e.g. 0.5,0.9,1.2,2): measure \
+                capacity, run one Poisson experiment per multiplier, and print the \
+                throughput-vs-offered-load table with the detected knee.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run an open-system serving experiment (arrivals, deadlines, overload)")
+    Term.(
+      const run_serve $ service $ mode_arg $ threads_arg $ requests $ arrival $ gap
+      $ load $ queue_cap $ deadline_us $ no_governor $ sweep $ seed_arg $ trace_arg
+      $ trace_filter_arg $ check_arg $ check_json_arg $ faults_arg $ faults_seed_arg)
+
 let analyze_cmd =
   let json =
     Arg.(value & opt string "ANALYZE_asf.json"
@@ -679,6 +901,27 @@ let main_cmd =
         $ trace_arg $ trace_filter_arg $ check_arg $ check_json_arg $ faults_arg
         $ faults_seed_arg $ jobs_arg)
     (Cmd.info "asf_bench" ~doc)
-    [ repro_cmd; intset_cmd; stamp_cmd; analyze_cmd ]
+    [ repro_cmd; intset_cmd; stamp_cmd; analyze_cmd; serve_cmd ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* A first positional argument that is not (a prefix of) any known
+   subcommand is a typo, not a request for the default `repro` run: say
+   so explicitly and exit non-zero before cmdliner's generic error. *)
+let known_subcommands = [ "repro"; "intset"; "stamp"; "analyze"; "serve"; "help" ]
+
+let () =
+  (match Array.to_list Sys.argv with
+  | _ :: arg :: _
+    when String.length arg > 0
+         && arg.[0] <> '-'
+         && not
+              (List.exists
+                 (fun c ->
+                   String.length arg <= String.length c
+                   && String.sub c 0 (String.length arg) = arg)
+                 known_subcommands) ->
+      Printf.eprintf
+        "asf_bench: unknown subcommand %S\nusage: asf_bench [%s] [OPTION]…\n" arg
+        (String.concat "|" known_subcommands);
+      exit 2
+  | _ -> ());
+  exit (Cmd.eval' main_cmd)

@@ -48,6 +48,44 @@ let of_check ~workload findings =
       })
     findings
 
+(* The livelock watchdog's structured diagnosis, flattened into the same
+   machine-readable record stream the checker and the static analyzer
+   emit: one summary record (count = cycles since the last commit) plus
+   one advisory per stalled core, so `--check-json` artifacts carry the
+   whole progress-failure picture instead of only an exit code. *)
+let of_livelock ~workload (d : Asf_tm_rt.Tm.diagnosis) =
+  let summary =
+    make ~source:Runtime ~severity:"violation" ~kind:"livelock" ~workload
+      ~cls:"progress" ~count:(d.diag_cycle - d.diag_last_commit_cycle)
+      ~detail:
+        (Printf.sprintf
+           "no commit for %d cycles (window %d) at cycle %d; %d commits \
+            system-wide; serial lock %s"
+           (d.diag_cycle - d.diag_last_commit_cycle)
+           d.diag_window d.diag_cycle d.diag_commits
+           (match d.diag_serial_holder with
+           | Some c -> Printf.sprintf "held by core %d" c
+           | None -> "free"))
+      ()
+  in
+  let cores =
+    List.map
+      (fun (r : Asf_tm_rt.Tm.core_report) ->
+        make ~source:Runtime ~severity:"advisory" ~kind:"livelock-core" ~workload
+          ~cls:r.rep_path
+          ~variant:(Printf.sprintf "core-%d" r.rep_core)
+          ~count:r.rep_consec_aborts
+          ~detail:
+            (Printf.sprintf
+               "core %d on %s path: %d commits (%d serial), %d attempts, %d \
+                aborts, %d consecutive"
+               r.rep_core r.rep_path r.rep_commits r.rep_serial_commits
+               r.rep_attempts r.rep_aborts r.rep_consec_aborts)
+          ())
+      d.diag_cores
+  in
+  summary :: cores
+
 let is_violation f = f.f_severity = "violation"
 
 (* ------------------------------------------------------------------ *)

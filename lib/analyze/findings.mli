@@ -37,6 +37,13 @@ val of_check : workload:string -> Asf_check.Check.finding list -> t list
 (** Txcheck findings rebased into the shared record ([f_source =
     Runtime]; part name folded into the detail). *)
 
+val of_livelock : workload:string -> Asf_tm_rt.Tm.diagnosis -> t list
+(** Flatten a progress-watchdog diagnosis into findings: one [livelock]
+    violation summarising the stall (count = cycles without a commit)
+    followed by one [livelock-core] advisory per context, so
+    [--check-json] artifacts record {e why} a run was killed with exit
+    code 3 rather than only that it was. *)
+
 val is_violation : t -> bool
 
 (** {1 JSON} *)

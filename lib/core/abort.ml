@@ -9,6 +9,7 @@ type t =
   | Malloc
   | Disallowed
   | Spurious
+  | Timeout
 
 let index = function
   | Contention -> 0
@@ -21,8 +22,9 @@ let index = function
   | Malloc -> 7
   | Disallowed -> 8
   | Spurious -> 9
+  | Timeout -> 10
 
-let n_classes = 10
+let n_classes = 11
 
 let class_names =
   [|
@@ -36,6 +38,7 @@ let class_names =
     "malloc";
     "disallowed";
     "spurious";
+    "timeout";
   |]
 
 let class_name i = class_names.(i)

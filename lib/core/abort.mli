@@ -23,6 +23,12 @@ type t =
           delivered only by the {!Asf_faults} injection layer (real
           hardware may abort spuriously at any time, so the runtime must
           treat this exactly like a transient contention abort) *)
+  | Timeout
+      (** ASF-TM deadline enforcement: the attempt was abandoned because
+          its request's deadline passed (see [Tm.atomic_until]). Never
+          delivered by the hardware model — the runtime accounts a
+          deadline-abandoned attempt under this class so timeout waste is
+          visible next to the architectural abort census. *)
 
 val index : t -> int
 (** Dense index for statistics arrays, in [0, n_classes). [Page_fault _]

@@ -104,6 +104,19 @@ let spawn t ~core f =
   Trace.emit t.tracer ~core ~cycle:t.core_time.(core) Trace.Thread_spawn;
   enqueue t ~time:t.core_time.(core) (Start (core, f))
 
+(* Absolute-time spawn: the open-system arrival primitive. The [Start]
+   handler advances the core clock to [time] only if the core is behind,
+   and a clock can never be behind a task the scheduler just popped (any
+   pending resume for that core would have run first), so injecting an
+   event in the past of the *global* order is impossible and clocks stay
+   monotone. *)
+let spawn_at t ~core ~time f =
+  if core < 0 || core >= t.n_cores then invalid_arg "Engine.spawn_at: bad core";
+  if time < 0 then invalid_arg "Engine.spawn_at: negative time";
+  t.live <- t.live + 1;
+  Trace.emit t.tracer ~core ~cycle:time Trace.Thread_spawn;
+  enqueue t ~time (Start (core, f))
+
 (* Fusion fast path (the classic discrete-event "lazy reschedule"): the
    thread performing [elapse] is by construction the task the scheduler
    popped last, so its resumption would carry the largest sequence number

@@ -40,6 +40,16 @@ val spawn : t -> core:int -> (unit -> unit) -> unit
     current local time. Several threads may share a core; they interleave at
     [elapse] points. *)
 
+val spawn_at : t -> core:int -> time:int -> (unit -> unit) -> unit
+(** [spawn_at t ~core ~time f] schedules thread [f] on [core] to start at
+    absolute cycle [time] — the arrival-event primitive of the open-system
+    serving harness ({!Asf_serve}): client requests are injected at their
+    seeded arrival instants independently of what the cores are doing.
+    [time] may be in the core's future (the core clock advances to it if
+    the core is idle by then) or logically in its past (the event runs
+    when the global order reaches it and the clock is untouched). Unlike
+    {!spawn}, the start time does not track the core's current clock. *)
+
 val run : t -> unit
 (** Runs until every spawned thread has terminated. Exceptions escaping a
     thread propagate out of [run]. *)

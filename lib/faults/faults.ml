@@ -101,6 +101,36 @@ let merge a b =
     serial_hang = a.serial_hang || b.serial_hang;
   }
 
+(* Edit distance for the plan-typo suggestion: full Levenshtein is
+   overkill for a ten-entry table, but nothing simpler distinguishes
+   "strom" -> storm from "strom" -> stall. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let row = Array.init (lb + 1) Fun.id in
+  for i = 1 to la do
+    let prev_diag = ref row.(0) in
+    row.(0) <- i;
+    for j = 1 to lb do
+      let d = !prev_diag + if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      prev_diag := row.(j);
+      row.(j) <- min d (1 + min row.(j) row.(j - 1))
+    done
+  done;
+  row.(lb)
+
+let suggest_plan name =
+  let lower = String.lowercase_ascii name in
+  let best =
+    List.fold_left
+      (fun acc cand ->
+        let d = edit_distance lower cand in
+        match acc with Some (_, bd) when bd <= d -> acc | _ -> Some (cand, d))
+      None plan_names
+  in
+  match best with
+  | Some (cand, d) when d <= max 1 (String.length cand / 3) -> Some cand
+  | _ -> None
+
 let plan_of_spec spec =
   let names =
     String.split_on_char ',' spec |> List.map String.trim
@@ -117,7 +147,10 @@ let plan_of_spec spec =
             | Some q -> Ok (merge p q)
             | None ->
                 Error
-                  (Printf.sprintf "unknown fault plan %S (valid: %s)" name
+                  (Printf.sprintf "unknown fault plan %S%s (valid: %s)" name
+                     (match suggest_plan name with
+                     | Some s -> Printf.sprintf " — did you mean %S?" s
+                     | None -> "")
                      (String.concat ", " plan_names))))
       (Ok none) names
 

@@ -77,7 +77,9 @@ val plan_names : string list
 val plan_of_spec : string -> (plan, string) result
 (** Parse a comma-separated list of plan names into their field-wise
     merge (max of each rate, or of flags), e.g. ["jitter,capacity"].
-    [Error] names the unknown plan. *)
+    [Error] names the unknown plan, lists the valid {!plan_names}, and —
+    when the typo is within edit distance of a real plan — appends a
+    "did you mean" suggestion. *)
 
 val plan_is_none : plan -> bool
 (** No injection site has a non-zero rate (and no hang): installing such

@@ -105,6 +105,10 @@ type diagnosis = {
 
 exception Livelock of diagnosis
 
+type deadline_info = { dl_core : int; dl_deadline : int; dl_now : int }
+
+exception Deadline_exceeded of deadline_info
+
 type system = {
   cfg : config;
   engine : Engine.t;
@@ -135,6 +139,17 @@ and ctx = {
   mutable max_consec_aborts : int;
   mutable pending_cycles : int;
       (** accumulated bookkeeping charges awaiting the next ASF op's elapse *)
+  mutable deadline : int;
+      (** absolute cycle after which the current request stops retrying
+          ([max_int] = none); set only by {!atomic_until} *)
+  mutable jitter_prev : int;
+      (** previous decorrelated-jitter draw (deadline-scoped backoff) *)
+  mutable dl_wait : int;
+      (** cumulative backoff + serial-spin cycles charged while a deadline
+          was active — the quantity the deadline-overshoot property bounds *)
+  mutable force_serial : bool;
+      (** governor escalation: route every ASF transaction straight to the
+          serial-irrevocable path *)
 }
 
 let create cfg =
@@ -246,6 +261,10 @@ let make_ctx sys ~core =
       consec_aborts = 0;
       max_consec_aborts = 0;
       pending_cycles = 0;
+      deadline = max_int;
+      jitter_prev = 16;
+      dl_wait = 0;
+      force_serial = false;
     }
   in
   sys.ctxs <- ctx :: sys.ctxs;
@@ -352,6 +371,44 @@ let note_abort ctx =
   ctx.consec_aborts <- ctx.consec_aborts + 1;
   if ctx.consec_aborts > ctx.max_consec_aborts then
     ctx.max_consec_aborts <- ctx.consec_aborts
+
+(* ------------------------------------------------------------------ *)
+(* Request deadlines                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Deadlines are enforced at *retry points* only: attempt entry, backoff,
+   and serial-lock spin polls. A transaction body is never interrupted and
+   serial-irrevocable execution always runs to completion once the lock is
+   held, so the only post-deadline residue a request can accumulate is the
+   bounded tail of the wait it was in when the deadline passed — at most
+   one [serial_spin_window] (backoff delays are clamped to the remaining
+   budget). *)
+
+let deadline_active ctx = ctx.deadline <> max_int
+
+let check_deadline ctx =
+  if deadline_active ctx then begin
+    let c = now ctx in
+    if c >= ctx.deadline then
+      raise
+        (Deadline_exceeded { dl_core = ctx.core; dl_deadline = ctx.deadline; dl_now = c })
+  end
+
+let note_wait ctx n = if deadline_active ctx then ctx.dl_wait <- ctx.dl_wait + n
+
+(* Abort accounting for a deadline abandonment that interrupts an *open*
+   attempt (the deadline passed while waiting for the serial lock): the
+   attempt's cycles fold into abort waste under the [Timeout] class, so
+   deadline-abandoned work is visible next to the architectural abort
+   census. *)
+let abandon_attempt ctx e =
+  Txmalloc.attempt_abort ctx.pool;
+  Stats.abort_attempt ctx.stats ~now:(now ctx) Abort.Timeout;
+  note_abort ctx;
+  emit ctx
+    (Trace.Tx_abort
+       { abort_class = Abort.class_name (Abort.index Abort.Timeout); addr = None });
+  raise e
 
 (* Per-core preemption stall, drawn once per transaction attempt. *)
 let inject_preempt ctx =
@@ -495,7 +552,10 @@ let wait_serial_free ctx =
   let rec loop attempt =
     if Memsys.load ctx.sys.mem ~core:ctx.core ctx.sys.serial_lock <> 0 then begin
       watchdog_check ctx;
-      Engine.elapse (serial_spin_window attempt);
+      check_deadline ctx;
+      let w = serial_spin_window attempt in
+      note_wait ctx w;
+      Engine.elapse w;
       loop (attempt + 1)
     end
   in
@@ -509,7 +569,10 @@ let acquire_serial ctx =
            ~value:(ctx.core + 1))
     then begin
       watchdog_check ctx;
-      Engine.elapse (serial_spin_window attempt);
+      check_deadline ctx;
+      let w = serial_spin_window attempt in
+      note_wait ctx w;
+      Engine.elapse w;
       loop (attempt + 1)
     end
   in
@@ -550,11 +613,15 @@ let inject_serial_hold ctx =
   end
 
 let run_serial ctx f =
+  check_deadline ctx;
   inject_preempt ctx;
   Stats.begin_attempt ctx.stats ~now:(now ctx);
   emit ctx Trace.Tx_begin;
   Txmalloc.attempt_begin ctx.pool;
-  with_cat ctx Stats.cat_start_commit (fun () -> acquire_serial ctx);
+  (try with_cat ctx Stats.cat_start_commit (fun () -> acquire_serial ctx)
+   with Deadline_exceeded _ as e -> abandon_attempt ctx e);
+  (* Past this point the transaction is irrevocable: it holds the serial
+     lock and runs to completion even if the deadline passes mid-body. *)
   emit ctx Trace.Fallback_enter;
   inject_serial_hold ctx;
   let r = in_body ctx Serial (fun () -> with_cat ctx Stats.cat_non_instr f) in
@@ -579,14 +646,35 @@ let run_serial ctx f =
    they re-collide in lockstep. *)
 let backoff_window retries = 64 lsl min retries 10
 
+(* Decorrelated-jitter backoff (deadline-scoped requests only): each draw
+   is uniform in [16, 16 + 3 * previous draw), capped at the same 65536
+   cycles the exponential ladder saturates at ([backoff_window 10]).
+   Successive windows grow geometrically in expectation like the ladder
+   but desynchronise faster — aborting requests spread over the whole
+   interval instead of clustering at power-of-two boundaries, which
+   matters in an open system where a burst delivers many conflicting
+   requests in the same few cycles. *)
+let decorrelated_window prng ~prev =
+  min (backoff_window 10) (16 + Prng.int prng (3 * max 16 prev))
+
 let do_backoff ctx retries =
   watchdog_check ctx;
+  check_deadline ctx;
   with_cat ctx Stats.cat_abort_waste (fun () ->
       let delay =
-        if ctx.sys.cfg.backoff then 16 + Prng.int ctx.prng (backoff_window retries)
+        if deadline_active ctx then begin
+          (* Bounded retry under a deadline: decorrelated jitter, clamped
+             to the remaining budget so a request never sleeps past the
+             cycle at which it would stop retrying anyway. *)
+          let w = decorrelated_window ctx.prng ~prev:ctx.jitter_prev in
+          ctx.jitter_prev <- w;
+          max 1 (min w (ctx.deadline - now ctx))
+        end
+        else if ctx.sys.cfg.backoff then 16 + Prng.int ctx.prng (backoff_window retries)
         else 16
       in
       emit ctx (Trace.Backoff { cycles = delay });
+      note_wait ctx delay;
       Engine.elapse delay)
 
 let service_pending_fault ctx =
@@ -613,6 +701,7 @@ let take_charges ctx =
 let phase_change_code = 42
 
 let rec asf_attempt ctx f retries =
+  check_deadline ctx;
   service_pending_fault ctx;
   (* Graceful degradation, stage 1: a transaction that keeps aborting
      without consuming retry budget (page-fault retries are free) is
@@ -628,7 +717,8 @@ let rec asf_attempt ctx f retries =
     ctx.sys.progress.forced_serial <- ctx.sys.progress.forced_serial + 1;
     emit ctx (Trace.Fault_inject { kind = "forced-serial" })
   end;
-  if forced || retries > ctx.sys.cfg.max_retries then run_serial ctx f
+  if forced || ctx.force_serial || retries > ctx.sys.cfg.max_retries then
+    run_serial ctx f
   else begin
     let a = the_asf ctx in
     inject_preempt ctx;
@@ -662,6 +752,10 @@ let rec asf_attempt ctx f retries =
         note_commit ctx;
         emit ctx (Trace.Tx_commit { serial = false });
         r
+    | exception (Deadline_exceeded _ as e) ->
+        (* Raised from [wait_serial_free], before SPECULATE: no hardware
+           region is live, only the attempt bookkeeping needs closing. *)
+        abandon_attempt ctx e
     | exception Asf.Aborted reason -> (
         Txmalloc.attempt_abort ctx.pool;
         Stats.abort_attempt ctx.stats ~now:(now ctx) reason;
@@ -693,6 +787,10 @@ let rec asf_attempt ctx f retries =
             (* The paper's policy: capacity overflows (and transactions the
                hardware cannot run) restart directly in serial mode. *)
             run_serial ctx f
+        | Abort.Timeout ->
+            (* Never delivered by the hardware model; the class exists for
+               the runtime's own deadline accounting. *)
+            assert false
         | Abort.Contention | Abort.Interrupt | Abort.Tlb_miss | Abort.Spurious
         | Abort.Explicit _ ->
             do_backoff ctx retries;
@@ -739,6 +837,7 @@ and stm_phased ctx f =
   let ps = phase_of ctx in
   if ps.transitioning then begin
     watchdog_check ctx;
+    check_deadline ctx;
     Engine.elapse 200;
     stm_phased ctx f
   end
@@ -766,6 +865,7 @@ and phased_dispatch ctx f =
 (* ------------------------------------------------------------------ *)
 
 and stm_attempt ctx f retries =
+  check_deadline ctx;
   let tx = the_tx ctx in
   inject_preempt ctx;
   Stats.begin_attempt ctx.stats ~now:(now ctx);
@@ -821,6 +921,23 @@ let atomic ctx f =
     | Asf_mode _ -> asf_attempt ctx f 0
     | Phased_mode _ -> phased_dispatch ctx f
   end
+
+let atomic_until ctx ~deadline f =
+  if ctx.depth > 0 then
+    invalid_arg "Tm.atomic_until: deadlines apply to top-level transactions only";
+  if deadline < 0 then invalid_arg "Tm.atomic_until: negative deadline";
+  ctx.deadline <- deadline;
+  ctx.jitter_prev <- 16;
+  ctx.dl_wait <- 0;
+  Fun.protect
+    ~finally:(fun () -> ctx.deadline <- max_int)
+    (fun () ->
+      check_deadline ctx;
+      atomic ctx f)
+
+let deadline_wait ctx = ctx.dl_wait
+
+let set_force_serial ctx v = ctx.force_serial <- v
 
 let retry ctx =
   match ctx.path with

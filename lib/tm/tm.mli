@@ -129,6 +129,51 @@ val serial_spin_window : int -> int
 val atomic : ctx -> (unit -> 'a) -> 'a
 (** Run the body as a transaction (flat-nested if already inside one). *)
 
+type deadline_info = { dl_core : int; dl_deadline : int; dl_now : int }
+
+exception Deadline_exceeded of deadline_info
+(** The request's deadline passed at a retry point; the transaction did
+    not (and will not) commit. *)
+
+val atomic_until : ctx -> deadline:int -> (unit -> 'a) -> 'a
+(** [atomic_until ctx ~deadline f] runs [f] as a transaction that stops
+    retrying once the core clock reaches absolute cycle [deadline],
+    raising {!Deadline_exceeded} instead of spinning in backoff — the
+    open-system serving contract (a late response is useless, so the
+    runtime must hand the core back rather than keep burning it).
+
+    Enforcement happens at {e retry points} only: attempt entry, backoff
+    delays, and serial-lock spin polls. A body that is already executing
+    is never interrupted (an attempt that commits after the deadline
+    still returns normally — the caller decides whether a late result is
+    worth anything), and serial-irrevocable execution runs to completion
+    once the lock is held. Backoff delays switch to decorrelated jitter
+    ({!decorrelated_window}) clamped to the remaining budget, and spin
+    waits re-check the deadline before every poll, so the cumulative
+    backoff + spin a request observes is bounded by its budget plus one
+    {!serial_spin_window} tail. A deadline that interrupts an open
+    attempt is accounted as an abort of class [Abort.Timeout].
+
+    Top-level transactions only ([Invalid_argument] when nested). *)
+
+val deadline_wait : ctx -> int
+(** Cumulative backoff + serial-spin cycles charged during the most
+    recent (or current) {!atomic_until} — the quantity whose bound the
+    deadline property in the test suite checks. *)
+
+val decorrelated_window : Asf_engine.Prng.t -> prev:int -> int
+(** One decorrelated-jitter draw: uniform in [16, 16 + 3 * max 16 prev),
+    capped at [backoff_window 10] (65536 cycles). {!atomic_until} backoff
+    feeds each draw the previous one; exposed for tests. *)
+
+val set_force_serial : ctx -> bool -> unit
+(** Governor escalation hook: while set, every top-level ASF transaction
+    on this context runs directly on the serial-irrevocable path
+    (guaranteed progress, no speculation). Honoured by the ASF path only
+    — STM transactions do not subscribe to the serial lock, so forcing
+    them serial would not be isolated; [Phased_mode] honours it during
+    hardware phases. *)
+
 val load : ctx -> Asf_mem.Addr.t -> int
 (** Transactional load (inside [atomic]); direct load outside. *)
 

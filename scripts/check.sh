@@ -31,6 +31,11 @@ dune build @analyze
 # (exit 3) fail the build.
 dune build @soak
 
+# Open-system serving smoke: Poisson + 2.5x overload + fault-storm
+# overload, the latter two each run twice and compared byte-for-byte;
+# invariant failures, partition violations or a livelock fail the build.
+dune build @serve-smoke
+
 # Benchmark-harness smoke: the quick reproduction at --jobs 2, with the
 # harness asserting that the parallel pass is bit-identical to the
 # sequential one and that the emitted benchmark JSON validates.

@@ -296,6 +296,56 @@ let test_engine_interleaving_deterministic () =
     [ ("a", 1); ("b", 1); ("a", 2); ("b", 2); ("a", 3); ("a", 4); ("b", 3); ("a", 5); ("b", 4); ("b", 5) ]
     l1
 
+let test_engine_spawn_at_absolute_times () =
+  (* spawn_at injects work at absolute cycles, interleaved with ordinary
+     threads in (time, seq) order regardless of submission order. *)
+  let e = Engine.create ~n_cores:2 () in
+  let log = ref [] in
+  let note id () = log := (id, Engine.core_time e 0) :: !log in
+  Engine.spawn_at e ~core:0 ~time:30 (note "c");
+  Engine.spawn_at e ~core:0 ~time:10 (note "a");
+  Engine.spawn_at e ~core:0 ~time:20 (note "b");
+  Engine.spawn e ~core:1 (fun () -> Engine.elapse 15; note "t" ());
+  Engine.run e;
+  Alcotest.(check (list (pair string int)))
+    "absolute-time order"
+    [ ("a", 10); ("t", 10); ("b", 20); ("c", 30) ]
+    (List.rev !log)
+
+let test_engine_spawn_at_never_regresses_clock () =
+  (* An arrival behind a core's clock runs, but the clock stays put:
+     simulated time is monotone per core. *)
+  let e = Engine.create ~n_cores:1 () in
+  let seen = ref (-1) in
+  Engine.spawn e ~core:0 (fun () -> Engine.elapse 100);
+  Engine.spawn_at e ~core:0 ~time:40 (fun () -> seen := Engine.core_time e 0);
+  Engine.run e;
+  Alcotest.(check bool) "late event still ran" true (!seen >= 40);
+  Alcotest.(check int) "clock did not regress" 100 (Engine.core_time e 0)
+
+let test_engine_spawn_at_chained_arrivals () =
+  (* The serving harness's arrival idiom: each event schedules the next,
+     so the heap never holds more than one pending arrival. *)
+  let e = Engine.create ~n_cores:1 () in
+  let n = ref 0 in
+  let rec arrive i () =
+    if i < 50 then begin
+      incr n;
+      Engine.spawn_at e ~core:0 ~time:((i + 1) * 7) (arrive (i + 1))
+    end
+  in
+  Engine.spawn_at e ~core:0 ~time:0 (arrive 0);
+  Engine.run e;
+  Alcotest.(check int) "all arrivals fired" 50 !n;
+  Alcotest.(check int) "clock at the last arrival" 350 (Engine.core_time e 0)
+
+let test_engine_spawn_at_rejects_bad_args () =
+  let e = Engine.create ~n_cores:2 () in
+  Alcotest.check_raises "negative time" (Invalid_argument "Engine.spawn_at: negative time")
+    (fun () -> Engine.spawn_at e ~core:0 ~time:(-1) (fun () -> ()));
+  Alcotest.check_raises "bad core" (Invalid_argument "Engine.spawn_at: bad core")
+    (fun () -> Engine.spawn_at e ~core:2 ~time:0 (fun () -> ()))
+
 let test_engine_atomic_between_elapses () =
   (* Without an elapse in the middle, a read-modify-write sequence is
      atomic: 2 threads x 1000 increments never lose an update. *)
@@ -661,6 +711,12 @@ let () =
         [
           Alcotest.test_case "single thread" `Quick test_engine_single_thread;
           Alcotest.test_case "interleaving" `Quick test_engine_interleaving_deterministic;
+          Alcotest.test_case "spawn_at order" `Quick test_engine_spawn_at_absolute_times;
+          Alcotest.test_case "spawn_at clock monotone" `Quick
+            test_engine_spawn_at_never_regresses_clock;
+          Alcotest.test_case "spawn_at chain" `Quick test_engine_spawn_at_chained_arrivals;
+          Alcotest.test_case "spawn_at bad args" `Quick
+            test_engine_spawn_at_rejects_bad_args;
           Alcotest.test_case "atomic sections" `Quick test_engine_atomic_between_elapses;
           Alcotest.test_case "shared core" `Quick test_engine_threads_share_core;
           Alcotest.test_case "exception" `Quick test_engine_exception_propagates;

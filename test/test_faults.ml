@@ -36,6 +36,25 @@ let test_plan_parsing () =
       Alcotest.(check bool) "error names the unknown plan" true
         (contains_sub m "nonsense")
 
+let test_plan_typo_suggestion () =
+  (match Faults.plan_of_spec "stom" with
+  | Ok _ -> Alcotest.fail "typo accepted"
+  | Error m ->
+      Alcotest.(check bool) "suggests the close plan" true
+        (contains_sub m "did you mean \"storm\"");
+      Alcotest.(check bool) "still lists valid plans" true
+        (contains_sub m "valid:"));
+  (match Faults.plan_of_spec "PAGEFAULT" with
+  | Ok _ -> Alcotest.fail "typo accepted"
+  | Error m ->
+      Alcotest.(check bool) "case-folded suggestion" true
+        (contains_sub m "did you mean \"pagefaults\""));
+  match Faults.plan_of_spec "zzzzzzzz" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error m ->
+      Alcotest.(check bool) "no far-fetched suggestion" false
+        (contains_sub m "did you mean")
+
 let test_plan_merge_is_fieldwise_max () =
   (* Merging is the field-wise max of rates and the or of flags, so a
      merged plan is at least as hostile as each constituent. *)
@@ -243,6 +262,7 @@ let () =
           Alcotest.test_case "parsing" `Quick test_plan_parsing;
           Alcotest.test_case "merge is field-wise max" `Quick
             test_plan_merge_is_fieldwise_max;
+          Alcotest.test_case "typo suggestion" `Quick test_plan_typo_suggestion;
         ] );
       ( "determinism",
         [

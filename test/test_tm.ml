@@ -488,6 +488,104 @@ let test_stm_mode_has_no_serial () =
     ctxs
 
 (* ------------------------------------------------------------------ *)
+(* Request deadlines                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_atomic_until_generous_deadline_commits () =
+  let sys = mk ~n_cores:1 (Tm.Asf_mode Variant.llb256) in
+  let a = Tm.setup_alloc sys 1 in
+  Tm.setup_poke sys a 0;
+  let ctx =
+    Tm.spawn sys ~core:0 (fun ctx ->
+        Tm.atomic_until ctx ~deadline:max_int (fun () ->
+            Tm.store ctx a (Tm.load ctx a + 1)))
+  in
+  Tm.run sys;
+  Alcotest.(check int) "committed" 1 (Tm.setup_peek sys a);
+  Alcotest.(check int) "one commit" 1 (Stats.commits (Tm.stats ctx));
+  Alcotest.(check int) "no timeout aborts" 0
+    (Stats.aborts (Tm.stats ctx)).(Abort.index Abort.Timeout);
+  Alcotest.(check int) "no deadline waiting" 0 (Tm.deadline_wait ctx)
+
+let test_atomic_until_expired_raises_before_attempt () =
+  (* A deadline already in the past must raise before any attempt opens:
+     no store, no attempt, no abort record to corrupt accounting. *)
+  let sys = mk ~n_cores:1 (Tm.Asf_mode Variant.llb256) in
+  let a = Tm.setup_alloc sys 1 in
+  Tm.setup_poke sys a 0;
+  let raised = ref false in
+  let ctx =
+    Tm.spawn sys ~core:0 (fun ctx ->
+        Tm.work ctx 100;
+        try Tm.atomic_until ctx ~deadline:50 (fun () -> Tm.store ctx a 1)
+        with Tm.Deadline_exceeded i ->
+          raised := true;
+          Alcotest.(check int) "reports the deadline" 50 i.Tm.dl_deadline;
+          Alcotest.(check bool) "now past it" true (i.Tm.dl_now >= 50))
+  in
+  Tm.run sys;
+  Alcotest.(check bool) "raised" true !raised;
+  Alcotest.(check int) "no store happened" 0 (Tm.setup_peek sys a);
+  Alcotest.(check int) "no attempt opened" 0 (Stats.attempts (Tm.stats ctx))
+
+let test_atomic_until_nested_rejected () =
+  let sys = mk ~n_cores:1 (Tm.Asf_mode Variant.llb256) in
+  let rejected = ref false in
+  let _ =
+    Tm.spawn sys ~core:0 (fun ctx ->
+        Tm.atomic ctx (fun () ->
+            try Tm.atomic_until ctx ~deadline:max_int (fun () -> ())
+            with Invalid_argument _ -> rejected := true))
+  in
+  Tm.run sys;
+  Alcotest.(check bool) "nested atomic_until rejected" true !rejected
+
+let test_deadline_accounting_under_contention () =
+  (* Four cores hammer one counter under tight per-transaction deadlines.
+     Whatever mix of commits and deadline exceptions results, the
+     bookkeeping must stay exact: every call accounted for, the counter
+     equal to the commits, the attempt/abort identity intact, and the
+     cumulative backoff+spin wait of each call bounded by the deadline
+     plus one serial-spin tail. *)
+  let n_cores = 4 and per_core = 50 and rel = 600 in
+  let sys = mk ~n_cores (Tm.Asf_mode Variant.llb256) in
+  let a = Tm.setup_alloc sys 1 in
+  Tm.setup_poke sys a 0;
+  let commits = ref 0 and timeouts = ref 0 in
+  let tail = Tm.serial_spin_window max_int in
+  let ctxs =
+    List.init n_cores (fun core ->
+        Tm.spawn sys ~core (fun ctx ->
+            for _ = 1 to per_core do
+              (try
+                 Tm.atomic_until ctx ~deadline:(Tm.now ctx + rel) (fun () ->
+                     Tm.store ctx a (Tm.load ctx a + 1));
+                 incr commits
+               with Tm.Deadline_exceeded _ -> incr timeouts);
+              Alcotest.(check bool) "wait bounded by deadline + tail" true
+                (Tm.deadline_wait ctx <= rel + tail)
+            done))
+  in
+  Tm.run sys;
+  Alcotest.(check int) "every call accounted" (n_cores * per_core)
+    (!commits + !timeouts);
+  Alcotest.(check int) "counter = commits" !commits (Tm.setup_peek sys a);
+  let agg = Stats.create () in
+  List.iter (fun c -> Stats.add (Tm.stats c) ~into:agg) ctxs;
+  Alcotest.(check int) "commits agree" !commits (Stats.commits agg);
+  Alcotest.(check int) "attempts = commits + aborts"
+    (Stats.commits agg + Stats.total_aborts agg)
+    (Stats.attempts agg)
+
+let prop_decorrelated_window_bounded =
+  QCheck.Test.make ~name:"tm: decorrelated jitter window bounded" ~count:200
+    (QCheck.make QCheck.Gen.(pair (int_range 0 10_000) (int_range 0 200_000)))
+    (fun (seed, prev) ->
+      let p = Asf_engine.Prng.create seed in
+      let w = Tm.decorrelated_window p ~prev in
+      w >= 16 && w <= Tm.backoff_window 10 && w <= 16 + (3 * max 16 prev))
+
+(* ------------------------------------------------------------------ *)
 (* Txmalloc unit tests                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -648,6 +746,17 @@ let () =
           Alcotest.test_case "spin window monotone, capped" `Quick
             test_serial_spin_window_monotone_and_capped;
           Alcotest.test_case "bounded wait / fairness" `Quick test_serial_lock_fairness;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "generous deadline commits" `Quick
+            test_atomic_until_generous_deadline_commits;
+          Alcotest.test_case "expired raises before attempt" `Quick
+            test_atomic_until_expired_raises_before_attempt;
+          Alcotest.test_case "nested rejected" `Quick test_atomic_until_nested_rejected;
+          Alcotest.test_case "accounting under contention" `Quick
+            test_deadline_accounting_under_contention;
+          QCheck_alcotest.to_alcotest prop_decorrelated_window_bounded;
         ] );
       ( "txmalloc",
         [
