@@ -21,6 +21,7 @@ module Experiments = Asf_harness.Experiments
 module Report = Asf_harness.Report
 module Parallel = Asf_parallel.Parallel
 module Serve = Asf_serve.Serve
+module Txlin = Asf_txlin.Txlin
 module Tm = Asf_tm_rt.Tm
 module Variant = Asf_core.Variant
 module Params = Asf_machine.Params
@@ -217,6 +218,7 @@ let serve_scenario () =
       Serve.requests = (if !quick then 400 else 1500);
       queue_cap = 8;
       deadline = Some deadline;
+      record = true;
     }
   in
   let capacity = Serve.measure_capacity tm ~threads base in
@@ -224,22 +226,25 @@ let serve_scenario () =
   let mean_gap =
     max 1 (int_of_float (cycles_per_ms /. Float.max 1e-9 (capacity *. 2.5)))
   in
-  Serve.run tm ~threads { base with Serve.arrival = Serve.Poisson { mean_gap } }
+  let cfg = { base with Serve.arrival = Serve.Poisson { mean_gap } } in
+  let r = Serve.run tm ~threads cfg in
+  (r, Txlin.check_result cfg r)
 
-let json_of_serve (r : Serve.result) =
+let json_of_serve ((r : Serve.result), (v : Txlin.verdict)) =
   Printf.sprintf
     "  \"serve\": {\"service\": %S, \"arrivals\": %d, \"completed\": %d, \
      \"shed\": %d, \"timeout\": %d, \"late\": %d, \"retries\": %d, \
      \"timeout_aborts\": %d, \"max_depth\": %d, \"p50\": %d, \"p99\": %d, \
      \"p999\": %d, \"offered_req_ms\": %.3f, \"achieved_req_ms\": %.3f, \
      \"gov_final\": %S, \"gov_to_shed\": %d, \"gov_to_serial\": %d, \
-     \"gov_recovered\": %d, \"invariant_ok\": %b},\n"
+     \"gov_recovered\": %d, \"invariant_ok\": %b, \"partition_ok\": %b, \
+     \"lin_ok\": %b, \"lin_states\": %d},\n"
     r.Serve.r_service r.Serve.r_arrivals r.Serve.r_completed r.Serve.r_shed
     r.Serve.r_timeout r.Serve.r_late r.Serve.r_retries r.Serve.r_timeout_aborts
     r.Serve.r_max_depth r.Serve.r_p50 r.Serve.r_p99 r.Serve.r_p999
     r.Serve.r_offered r.Serve.r_achieved r.Serve.r_final_gov
     r.Serve.r_gov_to_shed r.Serve.r_gov_to_serial r.Serve.r_gov_recovered
-    r.Serve.r_invariant_ok
+    r.Serve.r_invariant_ok r.Serve.r_partition_ok v.Txlin.v_ok v.Txlin.v_states
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_asf.json                                                       *)
@@ -329,6 +334,7 @@ let validate_json s =
             "deterministic"; "serve"; "arrivals"; "completed"; "shed";
             "timeout"; "timeout_aborts"; "max_depth"; "p50"; "p99";
             "offered_req_ms"; "achieved_req_ms"; "gov_final"; "invariant_ok";
+            "partition_ok"; "lin_ok"; "lin_states";
           ]
       in
       if missing = [] then Ok ()
@@ -426,23 +432,29 @@ let speedup_gate timings =
   end
 
 (* The serve scenario's own acceptance gates: outcome partition, service
-   invariant, bounded queues — a broken robustness path fails the bench
-   even if every timing is fine. *)
-let serve_gate (r : Serve.result) =
+   invariant, linearizability of the recorded history, bounded queues — a
+   broken robustness path fails the bench even if every timing is fine. *)
+let serve_gate ((r : Serve.result), (v : Txlin.verdict)) =
   Printf.printf
     "serve scenario: %s %d arrivals -> %d completed / %d shed / %d timeout, \
-     gov=%s, invariant %s\n%!"
+     gov=%s, invariant %s, lin %s (%d states)\n%!"
     r.Serve.r_service r.Serve.r_arrivals r.Serve.r_completed r.Serve.r_shed
     r.Serve.r_timeout r.Serve.r_final_gov
-    (if r.Serve.r_invariant_ok then "ok" else "FAILED");
+    (if r.Serve.r_invariant_ok then "ok" else "FAILED")
+    (if v.Txlin.v_ok then "ok"
+     else if v.Txlin.v_inconclusive then "inconclusive"
+     else "FAILED")
+    v.Txlin.v_states;
   List.concat
     [
-      (if r.Serve.r_completed + r.Serve.r_shed + r.Serve.r_timeout
-          = r.Serve.r_arrivals
-       then []
+      (if r.Serve.r_partition_ok then []
        else [ "serve: outcome partition violated" ]);
       (if r.Serve.r_invariant_ok then []
        else [ "serve: service invariant violated: " ^ r.Serve.r_invariant_msg ]);
+      (if v.Txlin.v_ok then []
+       else if v.Txlin.v_inconclusive then
+         [ "serve: linearizability check inconclusive: " ^ v.Txlin.v_detail ]
+       else [ "serve: history not linearizable: " ^ v.Txlin.v_detail ]);
       (if r.Serve.r_shed + r.Serve.r_timeout > 0 then []
        else [ "serve: 2.5x overload produced no shed or timeout" ]);
     ]

@@ -26,6 +26,7 @@ module Workloads = Asf_analyze.Workloads
 module Findings = Asf_analyze.Findings
 module Xvalidate = Asf_harness.Xvalidate
 module Serve = Asf_serve.Serve
+module Txlin = Asf_txlin.Txlin
 module Params = Asf_machine.Params
 
 (* ------------------------------------------------------------------ *)
@@ -109,13 +110,23 @@ let with_trace trace_file trace_filter run =
    findings alongside the checker's own. *)
 let last_livelock : Tm.diagnosis option ref = ref None
 
-let write_check_json chk path =
-  let fs = Findings.of_check ~workload:"runtime" (Check.findings chk) in
+(* Findings produced outside the Txcheck instance (the serve harness's
+   linearizability verdicts and partition violations) are parked here by
+   the run and folded into the same --check-json artifact. *)
+let last_extra_findings : Findings.t list ref = ref []
+
+let write_check_json ?chk path =
+  let fs =
+    match chk with
+    | Some chk -> Findings.of_check ~workload:"runtime" (Check.findings chk)
+    | None -> []
+  in
   let fs =
     match !last_livelock with
     | None -> fs
     | Some d -> fs @ Findings.of_livelock ~workload:"runtime" d
   in
+  let fs = fs @ !last_extra_findings in
   let doc =
     Printf.sprintf "{\n  \"schema\": \"asf-findings-v1\",\n  \"findings\": %s\n}\n"
       (Findings.json_of_findings fs)
@@ -143,7 +154,10 @@ let with_check check check_json run =
         try Ok (Check.parts_of_names names) with Invalid_argument m -> Error m
       with
       | Error m ->
-          Printf.eprintf "%s (valid parts: isolation, serial, lint, all)\n" m;
+          Printf.eprintf
+            "%s (valid parts: isolation, serial, lint, all; lin is \
+             serve-only)\n"
+            m;
           1
       | Ok parts ->
           let chk = Check.create ~parts () in
@@ -151,7 +165,7 @@ let with_check check check_json run =
           let rc = Fun.protect ~finally:Check.uninstall run in
           Report.print (Report.of_check ~id:"check" chk);
           let jrc =
-            match check_json with None -> 0 | Some path -> write_check_json chk path
+            match check_json with None -> 0 | Some path -> write_check_json ~chk path
           in
           let violations = List.length (Check.violations chk) in
           if violations > 0 then begin
@@ -369,11 +383,64 @@ let print_serve_result (r : Serve.result) =
 
 let us_to_cycles (p : Params.t) us = int_of_float (float_of_int us *. p.Params.ghz *. 1000.)
 
+(* The Txlin oracle line + findings for one recorded run. Everything
+   printed is a function of the recorded history, itself a function of
+   the seeds only — same determinism contract as the serve report. *)
+let serve_lin cfg (r : Serve.result) =
+  let v = Txlin.check_result cfg r in
+  Printf.printf "lin[%s]: %s (%d committed, %d absent, %d group(s), %d state(s))\n"
+    v.Txlin.v_service
+    (if v.Txlin.v_ok then "ok"
+     else if v.Txlin.v_inconclusive then "inconclusive"
+     else "VIOLATION")
+    v.Txlin.v_obligations v.Txlin.v_absent v.Txlin.v_groups v.Txlin.v_states;
+  if not v.Txlin.v_ok then Printf.printf "  %s\n" v.Txlin.v_detail;
+  last_extra_findings :=
+    !last_extra_findings @ Txlin.findings ~workload:v.Txlin.v_service v;
+  if (not v.Txlin.v_ok) && not v.Txlin.v_inconclusive then 1 else 0
+
+(* The hoisted outcome-partition invariant: recorded in the result rather
+   than asserted mid-run, reported here as a structured finding. *)
+let serve_partition (r : Serve.result) =
+  match Txlin.partition_finding ~workload:r.Serve.r_service r with
+  | None -> 0
+  | Some f ->
+      Printf.printf "partition: FAILED (%s)\n" f.Findings.f_detail;
+      last_extra_findings := !last_extra_findings @ [ f ];
+      1
+
 let run_serve service mode threads requests arrival gap load queue_cap deadline_us
-    no_governor sweep_arg seed trace tfilter check check_json faults fseed =
+    no_governor records ablate sweep_arg seed trace tfilter check check_json faults
+    fseed =
+  (* --check=lin is served by Txlin, not Txcheck: split it out of the
+     spec before the remainder reaches the Txcheck part parser. *)
+  let lin_on, check =
+    match check with
+    | None -> (false, None)
+    | Some spec ->
+        let names =
+          String.split_on_char ',' spec |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        in
+        let rest = List.filter (fun n -> n <> "lin") names in
+        ( List.mem "lin" names,
+          if rest = [] then None else Some (String.concat "," rest) )
+  in
   with_faults faults fseed @@ fun () ->
   with_trace trace tfilter @@ fun () ->
-  with_check check check_json @@ fun () ->
+  (fun body ->
+    match check with
+    | Some _ -> with_check check check_json body
+    | None when lin_on ->
+        (* lin-only checking: no Txcheck instance, but --check-json still
+           carries the lin/partition findings. *)
+        let rc = body () in
+        let jrc =
+          match check_json with None -> 0 | Some path -> write_check_json path
+        in
+        max rc jrc
+    | None -> with_check None check_json body)
+  @@ fun () ->
   catch_livelock @@ fun () ->
   match (Serve.service_of_string service, List.assoc_opt mode modes) with
   | Error m, _ ->
@@ -383,7 +450,32 @@ let run_serve service mode threads requests arrival gap load queue_cap deadline_
       Printf.eprintf "unknown mode (%s)\n" mode_names;
       1
   | Ok service, Some tm_mode -> (
-      let tm = { (Tm.default_config tm_mode ~n_cores:threads) with Tm.seed } in
+      match
+        List.fold_left
+          (fun acc a ->
+            match (acc, a) with
+            | Error _, _ -> acc
+            | Ok (_, rb), "resolve" -> Ok (false, rb)
+            | Ok (rs, _), "rollback" -> Ok (rs, false)
+            | Ok _, a ->
+                Error
+                  (Printf.sprintf
+                     "unknown ablation %S (valid: resolve, rollback)" a))
+          (Ok (true, true))
+          ablate
+      with
+      | Error m ->
+          Printf.eprintf "%s\n" m;
+          1
+      | Ok (resolve_conflicts, rollback_on_abort) -> (
+      let tm =
+        {
+          (Tm.default_config tm_mode ~n_cores:threads) with
+          Tm.seed;
+          resolve_conflicts;
+          rollback_on_abort;
+        }
+      in
       let base =
         {
           (Serve.default_cfg service) with
@@ -391,7 +483,11 @@ let run_serve service mode threads requests arrival gap load queue_cap deadline_
           queue_cap;
           governor = not no_governor;
           deadline = Option.map (us_to_cycles tm.Tm.params) deadline_us;
+          record = lin_on;
         }
+      in
+      let base =
+        match records with None -> base | Some r -> { base with Serve.records = r }
       in
       match sweep_arg with
       | Some mults_spec -> (
@@ -408,6 +504,11 @@ let run_serve service mode threads requests arrival gap load queue_cap deadline_
               1
           | mults ->
               let results, knee = Serve.sweep tm ~threads base ~mults in
+              let verdicts =
+                if lin_on then
+                  List.map (fun (_, r) -> Some (Txlin.check_result base r)) results
+                else List.map (fun _ -> None) results
+              in
               Report.print
                 (Report.make ~id:"serve-sweep"
                    ~title:
@@ -420,12 +521,13 @@ let run_serve service mode threads requests arrival gap load queue_cap deadline_
                        | Some k -> Printf.sprintf "knee: %.3f req/ms" k
                        | None -> "knee: not reached in this range");
                      ]
-                   [
-                     "mult"; "offered"; "achieved"; "p50"; "p99"; "shed"; "timeout";
-                     "gov-final";
-                   ]
-                   (List.map
-                      (fun (m, (r : Serve.result)) ->
+                   ([
+                      "mult"; "offered"; "achieved"; "p50"; "p99"; "shed";
+                      "timeout"; "gov-final";
+                    ]
+                   @ if lin_on then [ "lin" ] else [])
+                   (List.map2
+                      (fun (m, (r : Serve.result)) v ->
                         [
                           Printf.sprintf "%.2f" m;
                           Printf.sprintf "%.3f" r.Serve.r_offered;
@@ -435,9 +537,39 @@ let run_serve service mode threads requests arrival gap load queue_cap deadline_
                           string_of_int r.Serve.r_shed;
                           string_of_int r.Serve.r_timeout;
                           r.Serve.r_final_gov;
-                        ])
-                      results));
-              if List.for_all (fun (_, r) -> r.Serve.r_invariant_ok) results then 0
+                        ]
+                        @
+                        match v with
+                        | None -> []
+                        | Some v ->
+                            [
+                              (if v.Txlin.v_ok then "ok"
+                               else if v.Txlin.v_inconclusive then "inconcl"
+                               else "VIOLATION");
+                            ])
+                      results verdicts));
+              let prc =
+                List.fold_left
+                  (fun acc (_, r) -> max acc (serve_partition r))
+                  0 results
+              in
+              let lrc =
+                List.fold_left
+                  (fun acc v ->
+                    match v with
+                    | Some v when (not v.Txlin.v_ok) && not v.Txlin.v_inconclusive
+                      ->
+                        last_extra_findings :=
+                          !last_extra_findings
+                          @ Txlin.findings ~workload:v.Txlin.v_service v;
+                        max acc 1
+                    | _ -> acc)
+                  0 verdicts
+              in
+              if
+                List.for_all (fun (_, r) -> r.Serve.r_invariant_ok) results
+                && prc = 0 && lrc = 0
+              then 0
               else 1)
       | None ->
           let cfg =
@@ -481,7 +613,12 @@ let run_serve service mode threads requests arrival gap load queue_cap deadline_
           | Error m ->
               Printf.eprintf "%s\n" m;
               1
-          | Ok arrival -> print_serve_result (Serve.run tm ~threads { base with Serve.arrival }))
+          | Ok arrival ->
+              let cfg = { base with Serve.arrival } in
+              let r = Serve.run tm ~threads cfg in
+              let rc = print_serve_result r in
+              let rc = max rc (serve_partition r) in
+              if lin_on then max rc (serve_lin cfg r) else rc))
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                              *)
@@ -688,9 +825,12 @@ let check_arg =
               findings: $(b,isolation) (shadow-memory strong-isolation checks), \
               $(b,serial) (conflict-serializability oracle + abort hygiene), \
               $(b,lint) (capacity/annotation advisories), or a comma-separated \
-              subset (default: all). Checking never advances simulated time, so \
-              all reported numbers are identical with and without it; the exit \
-              code is non-zero if any guarantee was violated.")
+              subset (default: all). $(b,serve) additionally accepts $(b,lin), \
+              the Txlin request/response linearizability oracle over the \
+              recorded history (not part of $(b,all)). Checking never advances \
+              simulated time, so all reported numbers are identical with and \
+              without it; the exit code is non-zero if any guarantee was \
+              violated.")
 
 let check_json_arg =
   Arg.(value & opt (some string) None
@@ -828,6 +968,23 @@ let serve_cmd =
              ~doc:"Disable the overload governor (fixed admission cap, no serial \
                    fallback).")
   in
+  let records =
+    Arg.(value & opt (some int) None
+         & info [ "records" ] ~docv:"N"
+             ~doc:
+               "KV services: preloaded key count (default 1024). Small values \
+                concentrate contention — the negative-test fixtures use them to \
+                make broken hardware observable quickly.")
+  in
+  let ablate =
+    Arg.(value & opt_all string []
+         & info [ "ablate" ] ~docv:"WHAT"
+             ~doc:
+               "Broken-hardware ablation (repeatable): $(b,resolve) disables ASF \
+                conflict detection, $(b,rollback) disables abort rollback. \
+                Negative-test fixtures for $(b,--check=lin); such runs are \
+                expected to fail.")
+  in
   let sweep =
     Arg.(value & opt (some string) None
          & info [ "sweep" ] ~docv:"MULTS"
@@ -841,8 +998,9 @@ let serve_cmd =
        ~doc:"Run an open-system serving experiment (arrivals, deadlines, overload)")
     Term.(
       const run_serve $ service $ mode_arg $ threads_arg $ requests $ arrival $ gap
-      $ load $ queue_cap $ deadline_us $ no_governor $ sweep $ seed_arg $ trace_arg
-      $ trace_filter_arg $ check_arg $ check_json_arg $ faults_arg $ faults_seed_arg)
+      $ load $ queue_cap $ deadline_us $ no_governor $ records $ ablate $ sweep
+      $ seed_arg $ trace_arg $ trace_filter_arg $ check_arg $ check_json_arg
+      $ faults_arg $ faults_seed_arg)
 
 let analyze_cmd =
   let json =

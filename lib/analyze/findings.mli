@@ -11,7 +11,9 @@ type t = {
       (** static: ["unsafe-nload"], ["unsafe-nstore"], ["restart-hazard"],
           ["reread-after-release"], ["capacity-overflow"],
           ["set-conflict"], ["capacity-contradiction"]; runtime: the
-          {!Asf_check.Check.finding} kinds *)
+          {!Asf_check.Check.finding} kinds, plus the serve-harness kinds
+          ["non-linearizable"] / ["lin-inconclusive"] (the Txlin oracle)
+          and ["partition"] (the outcome-partition invariant) *)
   f_workload : string;
   f_class : string;  (** transaction class, [""] when workload-wide *)
   f_variant : string;  (** hardware variant, [""] when variant-independent *)

@@ -13,6 +13,7 @@ type plan = {
   serial_stall_bp : int;
   serial_stall_cycles : int;
   serial_hang : bool;
+  lost_update_bp : int;
 }
 
 let none =
@@ -29,6 +30,7 @@ let none =
     serial_stall_bp = 0;
     serial_stall_cycles = 0;
     serial_hang = false;
+    lost_update_bp = 0;
   }
 
 (* Rates are tuned against the per-opportunity frequency of each site: ASF
@@ -72,9 +74,15 @@ let plan_table =
         serial_stall_bp = 4_000;
         serial_stall_cycles = 40_000;
         serial_hang = false;
+        lost_update_bp = 0;
       } );
     ( "livelock",
       { none with pname = "livelock"; spurious_bp = 10_000; serial_hang = true } );
+    (* Correctness-violating by design: drops committed transactional
+       stores on the floor. Deliberately NOT folded into storm — storm is
+       the worst *correct* weather, and the soak matrices assert that runs
+       under it stay linearizable. *)
+    ("lostupdate", { none with pname = "lostupdate"; lost_update_bp = 300 });
   ]
 
 let plan_names = List.map fst plan_table
@@ -99,6 +107,7 @@ let merge a b =
     serial_stall_bp = max a.serial_stall_bp b.serial_stall_bp;
     serial_stall_cycles = max a.serial_stall_cycles b.serial_stall_cycles;
     serial_hang = a.serial_hang || b.serial_hang;
+    lost_update_bp = max a.lost_update_bp b.lost_update_bp;
   }
 
 (* Edit distance for the plan-typo suggestion: full Levenshtein is
@@ -175,12 +184,14 @@ let site_preempt = 5
 
 let site_serial_stall = 6
 
-let n_sites = 7
+let site_lost_update = 7
+
+let n_sites = 8
 
 let site_names =
   [|
     "spurious-abort"; "timer-jitter"; "capacity-throttle"; "tlb-flush";
-    "page-unmap"; "preempt-stall"; "serial-stall";
+    "page-unmap"; "preempt-stall"; "serial-stall"; "lost-update";
   |]
 
 type t = {
@@ -269,6 +280,9 @@ let serial_stall t ~core =
   if hit t ~site:site_serial_stall ~core t.plan.serial_stall_bp then
     t.plan.serial_stall_cycles
   else 0
+
+let lost_update t ~core =
+  hit t ~site:site_lost_update ~core t.plan.lost_update_bp
 
 let serial_hang t = t.enabled && t.plan.serial_hang
 

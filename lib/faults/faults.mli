@@ -61,6 +61,12 @@ type plan = {
   serial_hang : bool;
       (** negative fixture: the serial-lock holder never proceeds; the
           only way such a run ends is the TM runtime's progress watchdog *)
+  lost_update_bp : int;
+      (** negative fixture: basis points per in-transaction store — the
+          store is silently dropped (lying hardware), so a committed
+          transaction's effect never reaches memory. Correctness-violating
+          by design: exists so the linearizability oracle has something to
+          catch, and deliberately excluded from [storm]. *)
 }
 
 val none : plan
@@ -72,7 +78,10 @@ val plan_names : string list
     [spurious] (spec-permitted spurious aborts), [capacity] (transient
     LLB capacity reduction), [stall] (serial-lock-holder stalls),
     [storm] (all of the above), [livelock] (the watchdog negative
-    fixture: permanent spurious aborts plus a hanging serial holder). *)
+    fixture: permanent spurious aborts plus a hanging serial holder), and
+    [lostupdate] (the linearizability negative fixture: transactional
+    stores silently dropped — {e not} part of [storm], which must stay
+    correctness-preserving). *)
 
 val plan_of_spec : string -> (plan, string) result
 (** Parse a comma-separated list of plan names into their field-wise
@@ -142,6 +151,10 @@ val preempt_stall : t -> core:int -> int
 
 val serial_stall : t -> core:int -> int
 (** Stall cycles for the serial-lock holder ([0] = no injection). *)
+
+val lost_update : t -> core:int -> bool
+(** [true] — silently drop the in-transaction store that is about to
+    execute (the [lostupdate] negative fixture). *)
 
 val serial_hang : t -> bool
 (** The [livelock] fixture flag (not a draw). *)

@@ -8,6 +8,7 @@ module Stamp = Asf_stamp.Stamp
 module C = Asf_stamp.Stamp_common
 module Parallel = Asf_parallel.Parallel
 module Serve = Asf_serve.Serve
+module Txlin = Asf_txlin.Txlin
 
 type t = {
   id : string;
@@ -815,6 +816,7 @@ let serve_exp ~quick ~seed =
             Serve.requests;
             queue_cap = 16;
             deadline = Some (deadline_cycles tm.Tm.params 4);
+            record = true;
           }
         in
         let capacity = Serve.measure_capacity tm ~threads base in
@@ -822,10 +824,9 @@ let serve_exp ~quick ~seed =
         let mean_gap =
           max 1 (int_of_float (cycles_per_ms /. Float.max 1e-9 (capacity *. mult)))
         in
-        let r =
-          Serve.run tm ~threads
-            { base with Serve.arrival = Serve.Poisson { mean_gap } }
-        in
+        let cell_cfg = { base with Serve.arrival = Serve.Poisson { mean_gap } } in
+        let r = Serve.run tm ~threads cell_cfg in
+        let v = Txlin.check_result cell_cfg r in
         [
           sname;
           Report.f2 mult;
@@ -837,7 +838,11 @@ let serve_exp ~quick ~seed =
           string_of_int r.Serve.r_timeout;
           string_of_int r.Serve.r_max_depth;
           r.Serve.r_final_gov;
-          (if r.Serve.r_invariant_ok then "ok" else "FAIL");
+          (if r.Serve.r_invariant_ok && r.Serve.r_partition_ok then "ok"
+           else "FAIL");
+          (if v.Txlin.v_ok then "ok"
+           else if v.Txlin.v_inconclusive then "inconcl"
+           else "FAIL");
         ])
       (List.concat_map
          (fun (sname, service) ->
@@ -856,10 +861,12 @@ let serve_exp ~quick ~seed =
         [
           "shed + timeout + completed = arrivals (outcome partition); depth is \
            bounded by the admission cap";
+          "lin = Txlin linearizability verdict over the recorded \
+           request/response history";
         ]
       [
         "service"; "load"; "offered"; "achieved"; "p50"; "p99"; "shed"; "timeout";
-        "depth"; "gov"; "inv";
+        "depth"; "gov"; "inv"; "lin";
       ]
       rows;
   ]

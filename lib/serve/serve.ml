@@ -59,6 +59,7 @@ type cfg = {
   accounts : int;
   scan_len : int;
   sample_every : int;
+  record : bool;
 }
 
 let default_cfg service =
@@ -74,6 +75,7 @@ let default_cfg service =
     accounts = 48;
     scan_len = 8;
     sample_every = 2048;
+    record = false;
   }
 
 let initial_balance = 1000
@@ -97,6 +99,37 @@ type op =
   | Audit
 
 type request = { rq_id : int; rq_core : int; rq_arrival : int; rq_op : op }
+
+(* ------------------------------------------------------------------ *)
+(* History events (the linearizability oracle's input)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* What a completed request observed, as seen by the client. The oracle
+   replays the sequential specification and demands that every
+   observation is explained by *some* linearization order. *)
+type obs =
+  | O_unit  (** Update: no observable return *)
+  | O_val of int option  (** Read: the value found (or absence) *)
+  | O_vals of int option list  (** Scan: values for k, k+1, ... *)
+  | O_flag of bool
+      (** Insert: key was absent; Order: log slot appended;
+          Settle: some order existed; Audit: balances summed correctly *)
+  | O_rmw of int  (** Rmw: the old value read (new value = old + 1) *)
+
+type outcome_ev =
+  | Ev_done of { obs : obs; commit : int }
+      (** committed; [commit] is the final attempt's commit cycle — the
+          linearization-point witness (invoke <= commit <= respond) *)
+  | Ev_timeout  (** deadline passed: committed nothing (no-op obligation) *)
+  | Ev_shed  (** rejected at admission: never executed *)
+
+type event = {
+  ev_id : int;
+  ev_op : op;
+  ev_invoke : int;  (** arrival cycle (the client's send) *)
+  ev_respond : int;  (** cycle the outcome was decided *)
+  ev_outcome : outcome_ev;
+}
 
 (* Exponential inter-arrival gap with the given mean (cycles). *)
 let exp_gap g mean =
@@ -295,26 +328,25 @@ let make_state sys setup_o cfg reqs =
       Ledger_state { accounts; head; slots; slot_cap }
 
 (* One request body, executed inside a transaction. Host-visible effects
-   are returned as an int (applied by the worker after commit), never
-   performed in the body — an aborted attempt re-executes the closure. *)
+   are returned as [(extra, obs)] (applied/recorded by the worker after
+   commit), never performed in the body — an aborted attempt re-executes
+   the closure, and only the final attempt's observation escapes. *)
 let exec_op (o : Ops.t) state rq =
   match (state, rq.rq_op) with
-  | Kv_state s, Read k ->
-      ignore (Thashmap.get o s.map k : int option);
-      0
+  | Kv_state s, Read k -> (0, O_val (Thashmap.get o s.map k))
   | Kv_state s, Update (k, v) ->
       Thashmap.put o s.map k v;
-      0
-  | Kv_state s, Insert (k, v) -> if Thashmap.put_if_absent o s.map k v then 1 else 0
+      (0, O_unit)
+  | Kv_state s, Insert (k, v) ->
+      let fresh = Thashmap.put_if_absent o s.map k v in
+      ((if fresh then 1 else 0), O_flag fresh)
   | Kv_state s, Scan (k, len) ->
-      for i = 0 to len - 1 do
-        ignore (Thashmap.get o s.map (k + i) : int option)
-      done;
-      0
+      let vs = List.init len (fun i -> Thashmap.get o s.map (k + i)) in
+      (0, O_vals vs)
   | Kv_state s, Rmw k ->
       let v = match Thashmap.get o s.map k with Some v -> v | None -> 0 in
       Thashmap.put o s.map k (v + 1);
-      0
+      (0, O_rmw v)
   | Ledger_state s, Order { src; dst; amount } ->
       let appended =
         let h = o.Ops.ld s.head in
@@ -332,17 +364,18 @@ let exec_op (o : Ops.t) state rq =
       let a = s.accounts.(src) and b = s.accounts.(dst) in
       o.Ops.st a (o.Ops.ld a - amount);
       o.Ops.st b (o.Ops.ld b + amount);
-      appended
+      (appended, O_flag (appended = 1))
   | Ledger_state s, Settle idx ->
       let h = o.Ops.ld s.head in
       if h > 0 then begin
         let slot = s.slots + (idx mod h * Addr.words_per_line) in
         o.Ops.st (slot + 3) (o.Ops.ld (slot + 3) + 1)
       end;
-      0
+      (0, O_flag (h > 0))
   | Ledger_state s, Audit ->
       let total = Array.fold_left (fun acc a -> acc + o.Ops.ld a) 0 s.accounts in
-      if total <> Array.length s.accounts * initial_balance then 1 else 0
+      let balanced = total = Array.length s.accounts * initial_balance in
+      ((if balanced then 0 else 1), O_flag balanced)
   | Kv_state _, (Order _ | Settle _ | Audit) | Ledger_state _, (Read _ | Update _ | Insert _ | Scan _ | Rmw _) ->
       assert false
 
@@ -404,6 +437,8 @@ type result = {
   r_stats : Stats.t;
   r_invariant_ok : bool;
   r_invariant_msg : string;
+  r_partition_ok : bool;
+  r_events : event array;
 }
 
 let retry_bucket r =
@@ -448,6 +483,24 @@ let run (tm_cfg : Tm.config) ~threads cfg =
   and max_depth = ref 0
   and max_dl_wait = ref 0 in
   let latencies = Array.make cfg.requests (-1) in
+  (* History recording (host-side only — never touches simulated time, so
+     recording on/off cannot change any reported number). One slot per
+     request id; a slot left [None] is itself a partition violation. *)
+  let events : event option array =
+    Array.make (if cfg.record then cfg.requests else 0) None
+  in
+  let record rq ~respond outcome =
+    if cfg.record then
+      events.(rq.rq_id) <-
+        Some
+          {
+            ev_id = rq.rq_id;
+            ev_op = rq.rq_op;
+            ev_invoke = rq.rq_arrival;
+            ev_respond = respond;
+            ev_outcome = outcome;
+          }
+  in
   let accounted () = !completed + !shed + !timeout in
   (* Governor watermarks scale with total queue capacity. *)
   let total_cap = cap_limit * threads in
@@ -481,7 +534,10 @@ let run (tm_cfg : Tm.config) ~threads cfg =
       Engine.spawn_at engine ~core:r.rq_core ~time:r.rq_arrival (fun () ->
           gov_poll r.rq_arrival;
           let q = queues.(r.rq_core) in
-          if q.len >= effective_cap () then incr shed
+          if q.len >= effective_cap () then begin
+            incr shed;
+            record r ~respond:r.rq_arrival Ev_shed
+          end
           else begin
             qpush q r;
             if q.len > !max_depth then max_depth := q.len
@@ -496,7 +552,8 @@ let run (tm_cfg : Tm.config) ~threads cfg =
     | Some d when Tm.now ctx >= d ->
         (* Expired while queued: drop without burning a single cycle on
            work nobody is waiting for anymore. *)
-        incr timeout
+        incr timeout;
+        record rq ~respond:(Tm.now ctx) Ev_timeout
     | _ ->
         let forced = cfg.governor && governor_state gov = Serial in
         Tm.set_force_serial ctx forced;
@@ -515,7 +572,7 @@ let run (tm_cfg : Tm.config) ~threads cfg =
           if w > !max_dl_wait then max_dl_wait := w
         end;
         (match outcome with
-        | Ok extra ->
+        | Ok (extra, obs) ->
             let fin = Tm.now ctx in
             latencies.(rq.rq_id) <- fin - rq.rq_arrival;
             let rt = max 0 (Stats.attempts st - a0 - 1) in
@@ -527,11 +584,14 @@ let run (tm_cfg : Tm.config) ~threads cfg =
             | Audit -> audit_fails := !audit_fails + extra
             | Read _ | Update _ | Scan _ | Rmw _ | Settle _ -> ());
             (match dl with Some d when fin > d -> incr late | _ -> ());
-            incr completed
+            incr completed;
+            record rq ~respond:fin
+              (Ev_done { obs; commit = Tm.last_commit_cycle ctx })
         | Error () ->
             let rt = max 0 (Stats.attempts st - a0) in
             retries_total := !retries_total + rt;
-            incr timeout)
+            incr timeout;
+            record rq ~respond:(Tm.now ctx) Ev_timeout)
   in
   let ctxs =
     List.init threads (fun core ->
@@ -549,7 +609,12 @@ let run (tm_cfg : Tm.config) ~threads cfg =
             loop ()))
   in
   Tm.run sys;
-  assert (accounted () = cfg.requests);
+  (* Outcome-partition invariant, *recorded* rather than asserted: an
+     assert here would tear the run down before any report exists, so a
+     partition bug on an early-exit path was invisible. The caller turns
+     [r_partition_ok = false] into a structured Finding and a non-zero
+     exit instead. *)
+  let partition_ok = accounted () = cfg.requests in
   let agg = Stats.create () in
   List.iter (fun c -> Stats.add (Tm.stats c) ~into:agg) ctxs;
   let lats =
@@ -634,6 +699,10 @@ let run (tm_cfg : Tm.config) ~threads cfg =
     r_stats = agg;
     r_invariant_ok = inv_ok;
     r_invariant_msg = inv_msg;
+    r_partition_ok = partition_ok;
+    r_events =
+      Array.of_list
+        (List.filter_map Fun.id (Array.to_list events));
   }
 
 (* ------------------------------------------------------------------ *)

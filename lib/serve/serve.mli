@@ -53,6 +53,56 @@ val service_of_string : string -> (service, string) result
 
 val service_name : service -> string
 
+val initial_balance : int
+(** Every ledger account's starting balance (the audit invariant's
+    conserved quantity). *)
+
+(** {1 Requests and history events}
+
+    One request = one client-visible operation. When [cfg.record] is on,
+    the run returns its complete invocation/response history — the input
+    to the Txlin linearizability oracle ([Asf_txlin]). Recording is
+    host-side only: it never advances simulated time, so every reported
+    number is byte-identical with recording on or off. *)
+
+type op =
+  | Read of int  (** key *)
+  | Update of int * int  (** key, new value *)
+  | Insert of int * int  (** fresh key, value (put-if-absent) *)
+  | Scan of int * int  (** first key, length *)
+  | Rmw of int  (** key: read, then write (old + 1) *)
+  | Order of { src : int; dst : int; amount : int }
+      (** ledger transfer + order-log append *)
+  | Settle of int  (** settle the (idx mod log-length)-th logged order *)
+  | Audit  (** sum every balance, flag any leak *)
+
+type obs =
+  | O_unit  (** Update: no observable return *)
+  | O_val of int option  (** Read: the value found (or absence) *)
+  | O_vals of int option list  (** Scan: values for k, k+1, ... *)
+  | O_flag of bool
+      (** Insert: key was absent; Order: log slot appended; Settle: some
+          order existed; Audit: balances summed correctly *)
+  | O_rmw of int  (** Rmw: the old value read (new value = old + 1) *)
+
+type outcome_ev =
+  | Ev_done of { obs : obs; commit : int }
+      (** committed with observation [obs]; [commit] is the final
+          attempt's commit cycle ([Tm.last_commit_cycle]), a witness
+          satisfying invoke <= commit <= respond *)
+  | Ev_timeout
+      (** deadline passed while queued or retrying: committed nothing
+          ([Tm.atomic_until] guarantees no effect), a no-op obligation *)
+  | Ev_shed  (** rejected at admission: never executed *)
+
+type event = {
+  ev_id : int;  (** request id (schedule order) *)
+  ev_op : op;
+  ev_invoke : int;  (** arrival cycle (the client's send) *)
+  ev_respond : int;  (** cycle the outcome was decided *)
+  ev_outcome : outcome_ev;
+}
+
 (** {1 Arrival processes}
 
     All gaps are in cycles. Every process is generated from the seed
@@ -89,6 +139,9 @@ type cfg = {
   accounts : int;  (** ledger: number of accounts *)
   scan_len : int;  (** KV mix E: keys per scan *)
   sample_every : int;  (** governor sampling interval, cycles *)
+  record : bool;
+      (** record the invocation/response history into [r_events]
+          (default off; free in simulated time either way) *)
 }
 
 val default_cfg : service -> cfg
@@ -161,14 +214,24 @@ type result = {
   r_stats : Stats.t;  (** aggregated worker statistics *)
   r_invariant_ok : bool;  (** service-level consistency check *)
   r_invariant_msg : string;
+  r_partition_ok : bool;
+      (** the outcome partition
+          [r_completed + r_shed + r_timeout = r_arrivals] held — recorded
+          (not asserted) so a violation still yields a full report the
+          caller can turn into a structured Finding *)
+  r_events : event array;
+      (** the recorded history in request-id order when [cfg.record];
+          empty otherwise. With a clean partition it has exactly
+          [r_arrivals] entries. *)
 }
 
 val run : Tm.config -> threads:int -> cfg -> result
 (** Run one open-system serving experiment. Arrival schedule, request
     contents and every reported number are functions of
     [tm_cfg.seed] (plus any installed fault plan's seed) only.
-    [r_shed + r_timeout + r_completed = r_arrivals] always — the outcome
-    partition invariant the property tests pin. *)
+    [r_shed + r_timeout + r_completed = r_arrivals] — the outcome
+    partition invariant the property tests pin — is reported in
+    [r_partition_ok]. *)
 
 val measure_capacity : Tm.config -> threads:int -> cfg -> float
 (** Closed-loop capacity probe, requests per millisecond: the same

@@ -25,6 +25,8 @@ type config = {
   selective_annotation : bool;
   abort_on_tlb_miss : bool;
   requester_wins : bool;
+  resolve_conflicts : bool;
+  rollback_on_abort : bool;
   begin_abi_cycles : int;
   commit_abi_cycles : int;
   malloc_cycles : int;
@@ -46,6 +48,8 @@ let default_config mode ~n_cores =
     selective_annotation = true;
     abort_on_tlb_miss = false;
     requester_wins = true;
+    resolve_conflicts = true;
+    rollback_on_abort = true;
     (* The ABI begin path is a software setjmp plus descriptor setup; its
        cost is of the same order as an STM begin, which is why Table 1
        shows similar start/commit cycles for ASF-TM and TinySTM. *)
@@ -150,6 +154,10 @@ and ctx = {
   mutable force_serial : bool;
       (** governor escalation: route every ASF transaction straight to the
           serial-irrevocable path *)
+  mutable last_commit : int;
+      (** cycle of this context's most recent commit on any path ([-1] =
+          none yet) — the linearizability oracle's commit-cycle witness:
+          for a completed request, invoke <= last_commit <= respond *)
 }
 
 let create cfg =
@@ -169,7 +177,10 @@ let create cfg =
   let asf =
     match cfg.mode with
     | Asf_mode v | Phased_mode v ->
-        Some (Asf.create mem ~requester_wins:cfg.requester_wins v)
+        Some
+          (Asf.create mem ~requester_wins:cfg.requester_wins
+             ~resolve_conflicts:cfg.resolve_conflicts
+             ~rollback_on_abort:cfg.rollback_on_abort v)
     | Stm_mode | Seq_mode -> None
   in
   let stm =
@@ -265,6 +276,7 @@ let make_ctx sys ~core =
       jitter_prev = 16;
       dl_wait = 0;
       force_serial = false;
+      last_commit = -1;
     }
   in
   sys.ctxs <- ctx :: sys.ctxs;
@@ -365,7 +377,10 @@ let note_commit ctx =
   let p = ctx.sys.progress in
   p.total_commits <- p.total_commits + 1;
   let cycle = now ctx in
+  ctx.last_commit <- cycle;
   if cycle > p.last_commit_cycle then p.last_commit_cycle <- cycle
+
+let last_commit_cycle ctx = ctx.last_commit
 
 let note_abort ctx =
   ctx.consec_aborts <- ctx.consec_aborts + 1;
@@ -466,6 +481,16 @@ let load ctx addr =
   | Serial | Direct -> Memsys.load ctx.sys.mem ~core:ctx.core addr
 
 let store ctx addr v =
+  let fl = ctx.sys.faults in
+  if
+    ctx.depth > 0 && Faults.enabled fl
+    && Faults.lost_update fl ~core:ctx.core
+  then
+    (* Lying hardware: the transactional store is silently dropped, so the
+       transaction commits without its effect ever reaching memory. Pure
+       negative fixture for the linearizability oracle. *)
+    emit ctx (Trace.Fault_inject { kind = "lost-update" })
+  else
   match ctx.path with
   | Hw ->
       enter_ld_st ctx;

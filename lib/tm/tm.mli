@@ -46,6 +46,15 @@ type config = {
   abort_on_tlb_miss : bool;  (** Rock-style ablation *)
   requester_wins : bool;  (** ASF's contention policy; [false] is the
                               requester-loses ablation *)
+  resolve_conflicts : bool;
+      (** broken-hardware ablation (default [true]): when [false], ASF
+          stops detecting conflicts between concurrent regions — commits
+          of racy regions succeed and the run is not serializable. Exists
+          for negative tests of the checking layers. *)
+  rollback_on_abort : bool;
+      (** broken-hardware ablation (default [true]): when [false], an
+          aborted ASF region's speculative stores are {e not} rolled
+          back, leaking partial effects. Negative-test fixture only. *)
   begin_abi_cycles : int;  (** software begin cost (setjmp, descriptor) *)
   commit_abi_cycles : int;
   malloc_cycles : int;
@@ -100,6 +109,15 @@ val stats : ctx -> Stats.t
 
 val now : ctx -> int
 (** Current cycle on this context's core. *)
+
+val last_commit_cycle : ctx -> int
+(** Cycle at which this context last committed a transaction on any path
+    ([-1] if it has not committed yet). For a request served by
+    {!atomic}/{!atomic_until}, the final attempt's commit lies between
+    the request's invocation and response cycles, which makes this the
+    linearizability oracle's commit-cycle witness: trying linearization
+    points in commit order finds a valid order greedily on correct
+    hardware. *)
 
 val backoff_window : int -> int
 (** [backoff_window retries] is the exponential back-off window (in cycles)

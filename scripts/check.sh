@@ -36,6 +36,38 @@ dune build @soak
 # invariant failures, partition violations or a livelock fail the build.
 dune build @serve-smoke
 
+# Linearizability-oracle smoke: Txlin (--check=lin) over clean underload
+# + 2.5x overload on every service + a storm overload, plus the
+# byte-identity proof that recording/checking never perturbs the run.
+# The deeper @lin-soak matrix (storm/stall/spurious x kv + ledger, each
+# doubled and compared) exists but is not part of this default gate; run
+# `dune build @lin-soak` before touching lib/serve, lib/tm conflict
+# handling, or the oracle itself.
+dune build @lin-smoke
+
+# Oracle negative fixtures: each of these runs a deliberately broken
+# stack (a seeded lost-update fault plan, conflict resolution disabled,
+# rollback-on-abort disabled) and MUST exit non-zero with a conclusive
+# non-linearizable verdict; a zero exit means the oracle went blind.
+echo "lin negative fixture: kv-f / lostupdate plan"
+if "$BENCH" serve --service kv-f -t 4 -n 300 --gap 200 --records 4 \
+    --faults lostupdate --faults-seed 3 --check=lin > /dev/null 2>&1; then
+  echo "check.sh: lin lostupdate fixture FAILED to report a violation" >&2
+  exit 1
+fi
+echo "lin negative fixture: kv-f / --ablate rollback"
+if "$BENCH" serve --service kv-f -t 4 -n 300 --gap 200 --records 4 \
+    --ablate rollback --check=lin > /dev/null 2>&1; then
+  echo "check.sh: lin rollback fixture FAILED to report a violation" >&2
+  exit 1
+fi
+echo "lin negative fixture: kv-f / --ablate resolve"
+if "$BENCH" serve --service kv-f -t 4 -n 400 --gap 60 --records 2 \
+    --ablate resolve --check=lin > /dev/null 2>&1; then
+  echo "check.sh: lin resolve fixture FAILED to report a violation" >&2
+  exit 1
+fi
+
 # Benchmark-harness smoke: the quick reproduction at --jobs 2, with the
 # harness asserting that the parallel pass is bit-identical to the
 # sequential one and that the emitted benchmark JSON validates.
