@@ -57,6 +57,13 @@ let only = ref ""
    pool that burns half its host time on coordination. *)
 let min_speedup = ref 0.0
 
+(* 0.0 = no gate. An allocation budget over the sequential pass of the
+   selected experiments — the @perf-smoke regression fence for the
+   access-path allocation hunts (PR 5 landed 45M minor words/run on the
+   8-core quick suite; the budget is set with headroom above the
+   current measurement, not at it). *)
+let max_minor_words = ref 0.0
+
 let () =
   Arg.parse
     [
@@ -77,10 +84,14 @@ let () =
         Arg.Set_float min_speedup,
         "X Fail unless the parallel pass's totals speedup reaches X \
          (single-core hosts: min(X, 0.65) as an overhead bound)" );
+      ( "--max-minor-words",
+        Arg.Set_float max_minor_words,
+        "N Fail if the sequential pass allocates more than N minor words \
+         across the selected experiments (0 = no gate)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "main.exe [--quick] [--seed N] [--jobs N] [--out FILE] [--csv DIR] \
-     [--skip-bechamel] [--only IDS] [--min-speedup X]"
+     [--skip-bechamel] [--only IDS] [--min-speedup X] [--max-minor-words N]"
 
 (* Resolve --only against the experiment registry; an unknown id is a
    usage error, not a silently empty run. *)
@@ -111,6 +122,13 @@ type timing = {
   sim_cycles : int;
   fused : int;  (** elapses served by the fusion fast path (seq pass) *)
   scheduled : int;  (** elapses that went through the heap (seq pass) *)
+  minor_words : float;  (** GC minor words allocated by the seq pass *)
+  major_words : float;
+  inval : int;  (** coherence counters, seq pass (per-experiment deltas) *)
+  fwd : int;
+  cross : int;
+  coh_probes : int;
+  dir_hw : int;  (** directory occupancy high-water across the pass *)
   deterministic : bool;
 }
 
@@ -123,10 +141,18 @@ let timed_run e ~jobs =
   Experiments.clear_cache ();
   Parallel.set_jobs jobs;
   Parallel.reset_sim_cycles ();
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let reports = e.Experiments.run ~quick:!quick ~seed:!seed in
   let dt = Unix.gettimeofday () -. t0 in
-  (reports, dt, Parallel.sim_cycles (), Parallel.fused_scheduled ())
+  let g1 = Gc.quick_stat () in
+  ( reports,
+    dt,
+    Parallel.sim_cycles (),
+    Parallel.fused_scheduled (),
+    (g1.Gc.minor_words -. g0.Gc.minor_words,
+     g1.Gc.major_words -. g0.Gc.major_words),
+    Parallel.coherence () )
 
 let part1 () =
   print_endline "=============================================================";
@@ -143,10 +169,15 @@ let part1 () =
     List.map
       (fun e ->
         let id = e.Experiments.id in
-        let seq_reports, seq_seconds, seq_cycles, (fused, scheduled) =
+        let ( seq_reports,
+              seq_seconds,
+              seq_cycles,
+              (fused, scheduled),
+              (minor_words, major_words),
+              (inval, fwd, cross, coh_probes, dir_hw) ) =
           timed_run e ~jobs:1
         in
-        let par_reports, par_seconds, par_cycles, _ =
+        let par_reports, par_seconds, par_cycles, _, _, _ =
           timed_run e ~jobs:par_jobs
         in
         let deterministic =
@@ -174,6 +205,13 @@ let part1 () =
             sim_cycles = seq_cycles;
             fused;
             scheduled;
+            minor_words;
+            major_words;
+            inval;
+            fwd;
+            cross;
+            coh_probes;
+            dir_hw;
             deterministic;
           }
         in
@@ -187,6 +225,12 @@ let part1 () =
           seq_cycles
           (100.0 *. fused_ratio t)
           (if deterministic then "bit-identical" else "MISMATCH");
+        (* One machine-greppable allocation/coherence line per experiment;
+           scripts/allocprof.sh turns these into CSV. *)
+        Printf.printf
+          "[alloc %s minor_words=%.0f major_words=%.0f invalidations=%d \
+           forwards=%d cross_socket_probes=%d probes=%d dir_high_water=%d]\n%!"
+          id minor_words major_words inval fwd cross coh_probes dir_hw;
         t)
       (selected_experiments ())
   in
@@ -271,23 +315,49 @@ let json_of_timings timings ~par_jobs ~serve =
             \"speedup\": %.3f, \"sim_cycles\": %d, \"seq_cycles_per_sec\": \
             %.0f, \"par_cycles_per_sec\": %.0f, \"fused_elapses\": %d, \
             \"scheduled_elapses\": %d, \"fused_ratio\": %.4f, \
+            \"minor_words\": %.0f, \"major_words\": %.0f, \
+            \"invalidations\": %d, \"forwards\": %d, \
+            \"cross_socket_probes\": %d, \"dir_high_water\": %d, \
             \"deterministic\": %b}%s\n"
            t.id t.seq_seconds t.par_seconds
            (t.seq_seconds /. Float.max 1e-9 t.par_seconds)
            t.sim_cycles
            (float_of_int t.sim_cycles /. Float.max 1e-9 t.seq_seconds)
            (float_of_int t.sim_cycles /. Float.max 1e-9 t.par_seconds)
-           t.fused t.scheduled (fused_ratio t) t.deterministic
+           t.fused t.scheduled (fused_ratio t) t.minor_words t.major_words
+           t.inval t.fwd t.cross t.dir_hw t.deterministic
            (if i = List.length timings - 1 then "" else ",")))
     timings;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf (json_of_serve serve);
+  (* The big-topology block: coherence traffic and throughput of the
+     64c4s scale experiment when it was part of the selected set. Always
+     emitted (with "ran": false otherwise) so validation is
+     unconditional. *)
+  (match List.find_opt (fun t -> t.id = "scale") timings with
+  | Some t ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"scale\": {\"ran\": true, \"sim_cycles\": %d, \
+            \"seq_cycles_per_sec\": %.0f, \"invalidations\": %d, \
+            \"forwards\": %d, \"cross_socket_probes\": %d, \"probes\": %d, \
+            \"dir_high_water\": %d, \"minor_words\": %.0f},\n"
+           t.sim_cycles
+           (float_of_int t.sim_cycles /. Float.max 1e-9 t.seq_seconds)
+           t.inval t.fwd t.cross t.coh_probes t.dir_hw t.minor_words)
+  | None ->
+      Buffer.add_string buf
+        "  \"scale\": {\"ran\": false, \"sim_cycles\": 0, \
+         \"seq_cycles_per_sec\": 0, \"invalidations\": 0, \"forwards\": 0, \
+         \"cross_socket_probes\": 0, \"probes\": 0, \"dir_high_water\": 0, \
+         \"minor_words\": 0},\n");
   Buffer.add_string buf
     (Printf.sprintf
        "  \"totals\": {\"seq_seconds\": %.3f, \"par_seconds\": %.3f, \
-        \"speedup\": %.3f}\n"
+        \"speedup\": %.3f, \"minor_words\": %.0f}\n"
        seq_total par_total
-       (seq_total /. Float.max 1e-9 par_total));
+       (seq_total /. Float.max 1e-9 par_total)
+       (total (fun t -> t.minor_words)));
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
@@ -334,7 +404,9 @@ let validate_json s =
             "deterministic"; "serve"; "arrivals"; "completed"; "shed";
             "timeout"; "timeout_aborts"; "max_depth"; "p50"; "p99";
             "offered_req_ms"; "achieved_req_ms"; "gov_final"; "invariant_ok";
-            "partition_ok"; "lin_ok"; "lin_states";
+            "partition_ok"; "lin_ok"; "lin_states"; "minor_words";
+            "major_words"; "invalidations"; "forwards"; "cross_socket_probes";
+            "dir_high_water"; "scale"; "ran"; "probes";
           ]
       in
       if missing = [] then Ok ()
@@ -431,6 +503,24 @@ let speedup_gate timings =
       ]
   end
 
+(* The --max-minor-words gate: total sequential-pass minor allocation of
+   the selected experiments against the budget. *)
+let alloc_gate timings =
+  if !max_minor_words <= 0.0 || timings = [] then []
+  else begin
+    let total = List.fold_left (fun acc t -> acc +. t.minor_words) 0.0 timings in
+    Printf.printf "alloc gate: %.0f minor words (budget %.0f)\n%!" total
+      !max_minor_words;
+    if total <= !max_minor_words then []
+    else
+      [
+        Printf.sprintf
+          "sequential pass allocated %.0f minor words, over the \
+           --max-minor-words budget %.0f"
+          total !max_minor_words;
+      ]
+  end
+
 (* The serve scenario's own acceptance gates: outcome partition, service
    invariant, linearizability of the recorded history, bounded queues — a
    broken robustness path fails the bench even if every timing is fine. *)
@@ -462,6 +552,7 @@ let serve_gate ((r : Serve.result), (v : Txlin.verdict)) =
 let () =
   let timings, par_jobs, failures = part1 () in
   let failures = failures @ speedup_gate timings in
+  let failures = failures @ alloc_gate timings in
   let serve = serve_scenario () in
   let failures = failures @ serve_gate serve in
   let failures = failures @ write_bench_json timings ~par_jobs ~serve in

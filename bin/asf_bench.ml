@@ -274,8 +274,16 @@ let repro ids all quick seed csv do_list trace tfilter check check_json faults f
 (* intset                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_intset mode structure range updates threads txns early_release seed trace tfilter
-    check check_json faults fseed =
+(* [--sockets 0] (the default) keeps the mode profile's own socket
+   count; any other value re-spreads the simulated cores via
+   {!Params.with_sockets}, charging the interconnect hop on
+   cross-socket coherence traffic. *)
+let apply_sockets sockets (tm : Tm.config) =
+  if sockets = 0 then tm
+  else { tm with Tm.params = Params.with_sockets tm.Tm.params ~sockets }
+
+let run_intset mode structure range updates threads sockets txns early_release seed
+    trace tfilter check check_json faults fseed =
   with_faults faults fseed @@ fun () ->
   with_trace trace tfilter @@ fun () ->
   with_check check check_json @@ fun () ->
@@ -305,7 +313,9 @@ let run_intset mode structure range updates threads txns early_release seed trac
           early_release;
         }
       in
-      let tm = { (Tm.default_config mode ~n_cores:threads) with Tm.seed } in
+      let tm =
+        apply_sockets sockets { (Tm.default_config mode ~n_cores:threads) with Tm.seed }
+      in
       let r = Intset.run tm ~threads cfg in
       Printf.printf "%s range=%d upd=%d%% threads=%d: %.2f tx/us (%d cycles)\n"
         (Intset.structure_name structure)
@@ -324,7 +334,8 @@ let run_intset mode structure range updates threads txns early_release seed trac
 (* stamp                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_stamp app mode threads scale seed trace tfilter check check_json faults fseed =
+let run_stamp app mode threads sockets scale seed trace tfilter check check_json faults
+    fseed =
   with_faults faults fseed @@ fun () ->
   with_trace trace tfilter @@ fun () ->
   with_check check check_json @@ fun () ->
@@ -338,7 +349,9 @@ let run_stamp app mode threads scale seed trace tfilter check check_json faults 
       Printf.eprintf "unknown mode (%s)\n" mode_names;
       1
   | Some app, Some mode ->
-      let tm = { (Tm.default_config mode ~n_cores:threads) with Tm.seed } in
+      let tm =
+        apply_sockets sockets { (Tm.default_config mode ~n_cores:threads) with Tm.seed }
+      in
       let r = Stamp.run_scaled app ~scale tm ~threads in
       Printf.printf "%s threads=%d: %.3f ms simulated\n" (Stamp.name app) threads
         (C.ms tm.Tm.params r);
@@ -409,9 +422,9 @@ let serve_partition (r : Serve.result) =
       last_extra_findings := !last_extra_findings @ [ f ];
       1
 
-let run_serve service mode threads requests arrival gap load queue_cap deadline_us
-    no_governor records ablate sweep_arg seed trace tfilter check check_json faults
-    fseed =
+let run_serve service mode threads sockets requests arrival gap load queue_cap
+    deadline_us no_governor records ablate sweep_arg seed trace tfilter check
+    check_json faults fseed =
   (* --check=lin is served by Txlin, not Txcheck: split it out of the
      spec before the remainder reaches the Txcheck part parser. *)
   let lin_on, check =
@@ -469,12 +482,13 @@ let run_serve service mode threads requests arrival gap load queue_cap deadline_
           1
       | Ok (resolve_conflicts, rollback_on_abort) -> (
       let tm =
-        {
-          (Tm.default_config tm_mode ~n_cores:threads) with
-          Tm.seed;
-          resolve_conflicts;
-          rollback_on_abort;
-        }
+        apply_sockets sockets
+          {
+            (Tm.default_config tm_mode ~n_cores:threads) with
+            Tm.seed;
+            resolve_conflicts;
+            rollback_on_abort;
+          }
       in
       let base =
         {
@@ -795,7 +809,21 @@ let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Deterministic seed.")
 
 let threads_arg =
-  Arg.(value & opt int 8 & info [ "threads"; "t" ] ~docv:"N" ~doc:"Worker threads (= cores).")
+  Arg.(
+    value
+    & opt int 8
+    & info [ "threads"; "t"; "cores" ] ~docv:"N"
+        ~doc:"Worker threads (= simulated cores).")
+
+let sockets_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "sockets" ] ~docv:"N"
+        ~doc:
+          "Spread the simulated cores over $(docv) sockets (one shared L3 \
+           per socket, 110-cycle interconnect hop on cross-socket probes). \
+           0 keeps the mode profile's own socket count.")
 
 let mode_arg =
   Arg.(value & opt string "llb256"
@@ -905,9 +933,9 @@ let intset_cmd =
   Cmd.v
     (Cmd.info "intset" ~doc:"Run one IntegerSet configuration")
     Term.(
-      const run_intset $ mode_arg $ structure $ range $ updates $ threads_arg $ txns $ er
-      $ seed_arg $ trace_arg $ trace_filter_arg $ check_arg $ check_json_arg
-      $ faults_arg $ faults_seed_arg)
+      const run_intset $ mode_arg $ structure $ range $ updates $ threads_arg
+      $ sockets_arg $ txns $ er $ seed_arg $ trace_arg $ trace_filter_arg
+      $ check_arg $ check_json_arg $ faults_arg $ faults_seed_arg)
 
 let stamp_cmd =
   let app_arg =
@@ -920,8 +948,9 @@ let stamp_cmd =
   Cmd.v
     (Cmd.info "stamp" ~doc:"Run one STAMP application")
     Term.(
-      const run_stamp $ app_arg $ mode_arg $ threads_arg $ scale $ seed_arg $ trace_arg
-      $ trace_filter_arg $ check_arg $ check_json_arg $ faults_arg $ faults_seed_arg)
+      const run_stamp $ app_arg $ mode_arg $ threads_arg $ sockets_arg $ scale
+      $ seed_arg $ trace_arg $ trace_filter_arg $ check_arg $ check_json_arg
+      $ faults_arg $ faults_seed_arg)
 
 let serve_cmd =
   let service =
@@ -997,10 +1026,10 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run an open-system serving experiment (arrivals, deadlines, overload)")
     Term.(
-      const run_serve $ service $ mode_arg $ threads_arg $ requests $ arrival $ gap
-      $ load $ queue_cap $ deadline_us $ no_governor $ records $ ablate $ sweep
-      $ seed_arg $ trace_arg $ trace_filter_arg $ check_arg $ check_json_arg
-      $ faults_arg $ faults_seed_arg)
+      const run_serve $ service $ mode_arg $ threads_arg $ sockets_arg $ requests
+      $ arrival $ gap $ load $ queue_cap $ deadline_us $ no_governor $ records
+      $ ablate $ sweep $ seed_arg $ trace_arg $ trace_filter_arg $ check_arg
+      $ check_json_arg $ faults_arg $ faults_seed_arg)
 
 let analyze_cmd =
   let json =

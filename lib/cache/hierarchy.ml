@@ -2,6 +2,43 @@ module Params = Asf_machine.Params
 
 type level_stats = { mutable hits : int; mutable misses : int }
 
+(* Domain-local coherence totals, mirrored alongside each instance's own
+   counters (same pattern as Engine's retire/sched counters): the record
+   for the current domain is fetched once at [create], instances bump it
+   on every coherence event, and the domain pool banks per-cell deltas
+   into its arenas. [cc_dir_hw] is a high-water mark, not a sum — the
+   pool zeroes it around each cell and merges with [max]. *)
+type coh_counters = {
+  mutable cc_invalidations : int;
+  mutable cc_forwards : int;
+  mutable cc_cross : int;
+  mutable cc_probes : int;
+  mutable cc_dir_hw : int;
+}
+
+let coh_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        cc_invalidations = 0;
+        cc_forwards = 0;
+        cc_cross = 0;
+        cc_probes = 0;
+        cc_dir_hw = 0;
+      })
+
+let domain_coherence () =
+  let c = Domain.DLS.get coh_key in
+  [| c.cc_invalidations; c.cc_forwards; c.cc_cross; c.cc_probes; c.cc_dir_hw |]
+
+let set_domain_dir_high_water v = (Domain.DLS.get coh_key).cc_dir_hw <- v
+
+(* Directory shard geometry: 8 Ki lines per shard. Growth allocates one
+   64 KiB shard at a time (plus an occasional doubling of the small
+   outer pointer array) instead of copying one giant pair of arrays. *)
+let shard_bits = 13
+let shard_size = 1 lsl shard_bits
+let shard_mask = shard_size - 1
+
 type t = {
   params : Params.t;
   n_cores : int;
@@ -9,14 +46,14 @@ type t = {
   l2 : Cache.t array;
   (* One L3 per socket. *)
   l3 : Cache.t array;
-  (* Coherence directory, indexed directly by line number: a bitmask of
-     cores holding a copy, and the core owning an exclusive dirty copy
-     ([-1] = none). Flat arrays grown by doubling — line numbers are
-     small and dense (word address / line words), so direct indexing
-     replaces the previous hashtable without any per-access lookup
-     allocation. *)
-  mutable dir_owners : int array;
-  mutable dir_dirty : int array;
+  (* Coherence directory, indexed by line number, sharded by line-index
+     stripe: shard [line lsr shard_bits], slot [line land shard_mask].
+     Each slot holds a packed {!Sharers.t} word (cores holding a copy)
+     and the core owning an exclusive dirty copy ([-1] = none). A
+     zero-length inner array marks an unallocated shard. *)
+  mutable dir_owners : Sharers.t array array;
+  mutable dir_dirty : int array array;
+  sharers : Sharers.ctx;
   evict_hooks : (int -> unit) array;
   l1s : level_stats array;
   l2s : level_stats array;
@@ -29,11 +66,54 @@ type t = {
   mutable forwards : int;
   mutable invalidations : int;
   mutable cross_socket_probes : int;
+  (* Remote cores actually probed by write-invalidations. Under the
+     limited backend in coarse mode this exceeds the true sharer count
+     (spurious probes hit cores that hold nothing — a no-op); it is
+     surfaced for the scale experiment, never in cmp-gated output. *)
+  mutable probes : int;
+  (* Directory lines whose sharer word ever became non-empty. Writes
+     collapse the word to a singleton, never to empty, so this is
+     monotone: occupancy doubles as its own high-water mark. *)
+  mutable dir_occ : int;
+  (* Preallocated invalidation callback: [iter_others] calls it for each
+     recorded sharer so the probe loop allocates no closure per event.
+     The line being invalidated travels via [drop_line]. *)
+  mutable drop_fn : int -> unit;
+  mutable drop_line : int;
+  coh : coh_counters;
 }
 
 let fresh_stats () = { hits = 0; misses = 0 }
 
-let create (params : Params.t) ~n_cores =
+let backend_of_env () =
+  match Sys.getenv_opt "ASF_SHARERS" with
+  | None | Some "" | Some "auto" -> None
+  | Some "bitmask" -> Some Sharers.Bitmask
+  | Some "limited" -> Some Sharers.Limited
+  | Some other ->
+      invalid_arg
+        (Printf.sprintf
+           "ASF_SHARERS=%s: expected \"bitmask\", \"limited\" or \"auto\""
+           other)
+
+let drop_from_core t ~core line =
+  if Cache.invalidate t.l1.(core) line then t.evict_hooks.(core) line;
+  ignore (Cache.invalidate t.l2.(core) line)
+
+let create ?sharers (params : Params.t) ~n_cores =
+  let kind =
+    match sharers with
+    | Some k -> k
+    | None -> (
+        match backend_of_env () with
+        | Some k -> k
+        | None ->
+            if n_cores <= Sharers.max_bitmask_cores then Sharers.Bitmask
+            else Sharers.Limited)
+  in
+  let sharers =
+    Sharers.make_ctx ~kind ~n_cores ~n_sockets:params.n_sockets
+  in
   let mk_l1 () =
     Cache.create_bytes ~size_bytes:params.l1_bytes ~assoc:params.l1_assoc
       ~line_bytes:params.line_bytes
@@ -42,55 +122,82 @@ let create (params : Params.t) ~n_cores =
     Cache.create_bytes ~size_bytes:params.l2_bytes ~assoc:params.l2_assoc
       ~line_bytes:params.line_bytes
   in
-  {
-    params;
-    n_cores;
-    l1 = Array.init n_cores (fun _ -> mk_l1 ());
-    l2 = Array.init n_cores (fun _ -> mk_l2 ());
-    l3 =
-      Array.init params.n_sockets (fun _ ->
-          Cache.create_bytes ~size_bytes:params.l3_bytes ~assoc:params.l3_assoc
-            ~line_bytes:params.line_bytes);
-    dir_owners = Array.make (1 lsl 16) 0;
-    dir_dirty = Array.make (1 lsl 16) (-1);
-    evict_hooks = Array.make n_cores (fun _ -> ());
-    l1s = Array.init n_cores (fun _ -> fresh_stats ());
-    l2s = Array.init n_cores (fun _ -> fresh_stats ());
-    l3s = fresh_stats ();
-    forwards = 0;
-    invalidations = 0;
-    cross_socket_probes = 0;
-  }
+  let t =
+    {
+      params;
+      n_cores;
+      l1 = Array.init n_cores (fun _ -> mk_l1 ());
+      l2 = Array.init n_cores (fun _ -> mk_l2 ());
+      l3 =
+        Array.init params.n_sockets (fun _ ->
+            Cache.create_bytes ~size_bytes:params.l3_bytes
+              ~assoc:params.l3_assoc ~line_bytes:params.line_bytes);
+      dir_owners = Array.make 8 [||];
+      dir_dirty = Array.make 8 [||];
+      sharers;
+      evict_hooks = Array.make n_cores (fun _ -> ());
+      l1s = Array.init n_cores (fun _ -> fresh_stats ());
+      l2s = Array.init n_cores (fun _ -> fresh_stats ());
+      l3s = fresh_stats ();
+      forwards = 0;
+      invalidations = 0;
+      cross_socket_probes = 0;
+      probes = 0;
+      dir_occ = 0;
+      drop_fn = ignore;
+      drop_line = 0;
+      coh = Domain.DLS.get coh_key;
+    }
+  in
+  t.drop_fn <-
+    (fun c ->
+      t.probes <- t.probes + 1;
+      t.coh.cc_probes <- t.coh.cc_probes + 1;
+      drop_from_core t ~core:c t.drop_line);
+  t
 
 let set_evict_hook t ~core f = t.evict_hooks.(core) <- f
 
-(* Grow the directory to cover [line] (fresh slots: no owners, clean). *)
+(* Make the shard covering [line] exist (fresh slots: no owners, clean).
+   The outer pointer arrays grow by doubling; that copy moves a few
+   hundred words at most, the 64 KiB shards themselves are never
+   copied. *)
 let ensure_dir t line =
-  let n = Array.length t.dir_owners in
-  if line >= n then begin
-    let n' = ref n in
-    while line >= !n' do
-      n' := !n' * 2
-    done;
-    let owners = Array.make !n' 0 and dirty = Array.make !n' (-1) in
-    Array.blit t.dir_owners 0 owners 0 n;
-    Array.blit t.dir_dirty 0 dirty 0 n;
-    t.dir_owners <- owners;
-    t.dir_dirty <- dirty
+  let si = line lsr shard_bits in
+  (if si >= Array.length t.dir_owners then begin
+     let n = Array.length t.dir_owners in
+     let n' = ref n in
+     while si >= !n' do
+       n' := !n' * 2
+     done;
+     let owners = Array.make !n' [||] and dirty = Array.make !n' [||] in
+     Array.blit t.dir_owners 0 owners 0 n;
+     Array.blit t.dir_dirty 0 dirty 0 n;
+     t.dir_owners <- owners;
+     t.dir_dirty <- dirty
+   end);
+  if Array.length (Array.unsafe_get t.dir_owners si) = 0 then begin
+    t.dir_owners.(si) <- Array.make shard_size Sharers.empty;
+    t.dir_dirty.(si) <- Array.make shard_size (-1)
   end
-
-let drop_from_core t ~core line =
-  if Cache.invalidate t.l1.(core) line then t.evict_hooks.(core) line;
-  ignore (Cache.invalidate t.l2.(core) line)
 
 let line_in_l1 t ~core ~line = Cache.mem t.l1.(core) line
 
 let socket_of t core = core * t.params.Params.n_sockets / t.n_cores
 
+let bump_occupancy t =
+  t.dir_occ <- t.dir_occ + 1;
+  if t.dir_occ > t.coh.cc_dir_hw then t.coh.cc_dir_hw <- t.dir_occ
+
 let access t ~core ~line ~write =
   let p = t.params in
   ensure_dir t line;
-  let dirty0 = t.dir_dirty.(line) in
+  let si = line lsr shard_bits in
+  let idx = line land shard_mask in
+  let sh_owners = Array.unsafe_get t.dir_owners si in
+  let sh_dirty = Array.unsafe_get t.dir_dirty si in
+  let owners0 = Array.unsafe_get sh_owners idx in
+  let dirty0 = Array.unsafe_get sh_dirty idx in
   (* Latency from the nearest level that holds the line. A miss that must
      be served by a remote dirty copy costs a cache-to-cache forward at
      L3-like latency plus the probe. *)
@@ -104,6 +211,7 @@ let access t ~core ~line ~write =
   let cross_penalty other_core =
     if socket_of t other_core <> socket then begin
       t.cross_socket_probes <- t.cross_socket_probes + 1;
+      t.coh.cc_cross <- t.coh.cc_cross + 1;
       p.cross_socket_latency
     end
     else 0
@@ -123,6 +231,7 @@ let access t ~core ~line ~write =
         t.l2s.(core).misses <- t.l2s.(core).misses + 1;
         if remote_dirty then begin
           t.forwards <- t.forwards + 1;
+          t.coh.cc_forwards <- t.coh.cc_forwards + 1;
           p.l3_latency (* cache-to-cache forward *)
         end
         else if in_l3 then begin
@@ -137,34 +246,36 @@ let access t ~core ~line ~write =
     end
   in
   let extra = ref 0 in
-  let my_bit = 1 lsl core in
+  let ctx = t.sharers in
   if write then begin
-    let others = t.dir_owners.(line) land lnot my_bit in
-    if others <> 0 || remote_dirty then begin
+    (* Socket-granular snoop filtering: only recorded sharers (or, in
+       coarse mode, cores of flagged sockets) are probed — never a
+       [0 .. n_cores-1] scan. *)
+    if Sharers.others ctx owners0 ~except:core || remote_dirty then begin
       extra := !extra + p.coherence_probe_latency;
       t.invalidations <- t.invalidations + 1;
-      let crossed = ref false in
-      for c = 0 to t.n_cores - 1 do
-        if c <> core && others land (1 lsl c) <> 0 then begin
-          if socket_of t c <> socket then crossed := true;
-          drop_from_core t ~core:c line
-        end
-      done;
-      if !crossed then begin
+      t.coh.cc_invalidations <- t.coh.cc_invalidations + 1;
+      let crossed = Sharers.crossed ctx owners0 ~socket ~except:core in
+      t.drop_line <- line;
+      Sharers.iter_others ctx owners0 ~except:core t.drop_fn;
+      if crossed then begin
         t.cross_socket_probes <- t.cross_socket_probes + 1;
+        t.coh.cc_cross <- t.coh.cc_cross + 1;
         extra := !extra + p.cross_socket_latency
       end
     end;
-    t.dir_owners.(line) <- my_bit;
-    t.dir_dirty.(line) <- core
+    if Sharers.is_empty owners0 then bump_occupancy t;
+    Array.unsafe_set sh_owners idx (Sharers.singleton ctx core);
+    Array.unsafe_set sh_dirty idx core
   end
   else begin
     if remote_dirty then begin
       extra := !extra + p.coherence_probe_latency + cross_penalty dirty0;
-      t.dir_dirty.(line) <- -1
+      Array.unsafe_set sh_dirty idx (-1)
       (* downgrade to shared; memory is already current *)
     end;
-    t.dir_owners.(line) <- t.dir_owners.(line) lor my_bit
+    if Sharers.is_empty owners0 then bump_occupancy t;
+    Array.unsafe_set sh_owners idx (Sharers.add ctx owners0 core)
   end;
   (* Fill this core's caches and the shared L3. *)
   (let victim = Cache.touch_evict t.l1.(core) line in
@@ -184,3 +295,9 @@ let forwards t = t.forwards
 let invalidations t = t.invalidations
 
 let cross_socket_probes t = t.cross_socket_probes
+
+let probes t = t.probes
+
+let dir_high_water t = t.dir_occ
+
+let backend t = Sharers.kind t.sharers

@@ -14,7 +14,16 @@
 
 type t
 
-val create : Asf_machine.Params.t -> n_cores:int -> t
+val create : ?sharers:Sharers.kind -> Asf_machine.Params.t -> n_cores:int -> t
+(** The directory's sharer-set backend defaults to {!Sharers.Bitmask}
+    for topologies of at most 62 cores and {!Sharers.Limited} (4
+    exact pointers overflowing to per-socket presence bits) beyond —
+    the old one-bit-per-core representation silently overflowed the
+    tagged int at core 63. The [ASF_SHARERS] environment variable
+    ([bitmask]/[limited]/[auto], read at each create) or the [?sharers]
+    argument force a backend; forcing [Bitmask] above 62 cores raises
+    [Invalid_argument]. Both backends produce byte-identical runs on
+    every topology the bitmask supports. *)
 
 val set_evict_hook : t -> core:int -> (int -> unit) -> unit
 (** [set_evict_hook t ~core f]: [f line] is called whenever [line] leaves
@@ -46,3 +55,30 @@ val invalidations : t -> int
 val cross_socket_probes : t -> int
 (** Probes and forwards that crossed a socket boundary (multi-socket
     configurations only). *)
+
+val probes : t -> int
+(** Remote cores probed by write-invalidations. Exceeds the true sharer
+    population when the limited backend has degraded a line to a coarse
+    socket vector (spurious probes are semantic no-ops); surfaced for
+    the scale experiment, never part of byte-compared output. *)
+
+val dir_high_water : t -> int
+(** Directory occupancy high-water: lines whose sharer set ever became
+    non-empty (occupancy is monotone, so this equals current
+    occupancy). *)
+
+val backend : t -> Sharers.kind
+
+val domain_coherence : unit -> int array
+(** Domain-local coherence totals, summed over every hierarchy created
+    on the calling domain:
+    [| invalidations; forwards; cross_socket_probes; probes;
+       dir_high_water |].
+    The first four are monotone sums; the last is a high-water mark
+    (see {!set_domain_dir_high_water}). The domain pool banks per-cell
+    deltas of these around each experiment cell. *)
+
+val set_domain_dir_high_water : int -> unit
+(** Overwrite the calling domain's directory high-water slot — the
+    domain pool zeroes it before a cell and restores [max old new]
+    after, turning a domain-local mark into a per-cell one. *)

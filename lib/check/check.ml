@@ -78,7 +78,10 @@ type txn = {
 (* What the lint knows about one line over a run. *)
 type line_info = {
   mutable li_flags : int;  (* 1 tx-read, 2 tx-written, 4 plain-written, 8 released *)
-  mutable li_cores : int;  (* bitmask of cores that touched the line at all *)
+  mutable li_cores : int;
+      (* bitmask of cores that touched the line at all; cores >= 62 share
+         bit 62 so the shift stays in range on big topologies (the mask
+         only ever feeds popcount-based distinct-core heuristics) *)
 }
 
 type access_rec = {
@@ -351,7 +354,7 @@ let end_attempt t core ~committed ~capacity_abort =
 let on_access t asf mem ~core ~addr ~write ~speculative =
   let l = Addr.line_of addr in
   let li = line_info t l in
-  li.li_cores <- li.li_cores lor (1 lsl core);
+  li.li_cores <- li.li_cores lor (1 lsl min core 62);
   if (not speculative) && write then li.li_flags <- li.li_flags lor 4;
   if t.chk_iso then push_history t mem ~core ~line:l ~write ~speculative;
   if speculative then begin
@@ -457,13 +460,13 @@ let on_stm_event t ~core ev =
       let l = Addr.line_of a in
       let li = line_info t l in
       li.li_flags <- li.li_flags lor 1;
-      li.li_cores <- li.li_cores lor (1 lsl core);
+      li.li_cores <- li.li_cores lor (1 lsl min core 62);
       record_op t (ensure_attempt t core) ~line:l ~write:false
   | Stm.Ev_write a ->
       let l = Addr.line_of a in
       let li = line_info t l in
       li.li_flags <- li.li_flags lor 2;
-      li.li_cores <- li.li_cores lor (1 lsl core);
+      li.li_cores <- li.li_cores lor (1 lsl min core 62);
       record_op t (ensure_attempt t core) ~line:l ~write:true
   | Stm.Ev_commit -> end_attempt t core ~committed:true ~capacity_abort:false
   | Stm.Ev_abort _ -> end_attempt t core ~committed:false ~capacity_abort:false

@@ -16,7 +16,8 @@ type t = {
 
 val all : t list
 (** fig3 fig4 fig5 fig6 fig7 fig8 fig9 tab1 abl-wins abl-tlb abl-annot
-    abl-backoff, in that order. *)
+    abl-backoff abl-cache abl-phased abl-wb abl-socket serve scale, in
+    that order. *)
 
 val find : string -> t option
 

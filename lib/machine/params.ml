@@ -81,6 +81,41 @@ let native_reference =
     ooo_factor = 0.5;
   }
 
+let with_sockets p ~sockets =
+  if sockets < 1 then invalid_arg "Params.with_sockets: sockets < 1";
+  if sockets = p.n_sockets then p
+  else
+    {
+      p with
+      name = Printf.sprintf "%s/%ds" p.name sockets;
+      n_sockets = sockets;
+      (* Same HyperTransport-like hop the dual_socket profile charges;
+         collapsing back to one socket removes it. *)
+      cross_socket_latency = (if sockets > 1 then 110 else 0);
+    }
+
+type topology = { topo_name : string; topo_cores : int; topo_params : t }
+
+let topology ~cores ~sockets =
+  {
+    topo_name = Printf.sprintf "%dc%ds" cores sockets;
+    topo_cores = cores;
+    topo_params = with_sockets barcelona ~sockets;
+  }
+
+let topo_64c4s = topology ~cores:64 ~sockets:4
+let topo_128c8s = topology ~cores:128 ~sockets:8
+let topo_256c8s = topology ~cores:256 ~sockets:8
+let topologies = [ topo_64c4s; topo_128c8s; topo_256c8s ]
+
+let topology_of_string s =
+  match List.find_opt (fun t -> t.topo_name = s) topologies with
+  | Some t -> Ok t
+  | None ->
+      Error
+        (Printf.sprintf "unknown topology %S (expected one of: %s)" s
+           (String.concat ", " (List.map (fun t -> t.topo_name) topologies)))
+
 let cycles_to_us p cycles = float_of_int cycles /. (p.ghz *. 1000.0)
 
 let cycles_to_ms p cycles = cycles_to_us p cycles /. 1000.0

@@ -60,6 +60,32 @@ val native_reference : t
 (** Shallow ideal-cache profile standing in for native hardware in the
     Fig. 3 methodology reproduction. *)
 
+val with_sockets : t -> sockets:int -> t
+(** [with_sockets p ~sockets] re-spreads the cores of [p] over [sockets]
+    sockets (one shared L3 per socket). Returns [p] unchanged when the
+    count already matches; otherwise multi-socket results charge the
+    same 110-cycle interconnect hop as {!dual_socket} on cross-socket
+    probes and forwards. *)
+
+type topology = { topo_name : string; topo_cores : int; topo_params : t }
+(** A named big-machine preset: a core count plus the machine profile
+    it runs on. Cores are not part of {!t} itself (the simulator takes
+    [~n_cores] separately), so presets pair the two. *)
+
+val topo_64c4s : topology
+(** 64 Barcelona-like cores over 4 sockets — the scale experiment's
+    topology. *)
+
+val topo_128c8s : topology
+
+val topo_256c8s : topology
+(** 256 cores over 8 sockets — forces the limited-pointer sharer
+    backend (the bitmask caps at 62 cores). *)
+
+val topologies : topology list
+
+val topology_of_string : string -> (topology, string) result
+
 val cycles_to_us : t -> int -> float
 (** Convert a cycle count to microseconds at the profile's frequency. *)
 

@@ -30,6 +30,7 @@ module Engine = Asf_engine.Engine
 module Trace = Asf_trace.Trace
 module Check = Asf_check.Check
 module Faults = Asf_faults.Faults
+module Hierarchy = Asf_cache.Hierarchy
 
 (* ------------------------------------------------------------------ *)
 (* The pool                                                             *)
@@ -156,14 +157,42 @@ let fused_acc = ref 0
 
 let sched_acc = ref 0
 
+(* Coherence-traffic totals, harvested the same way from each domain's
+   {!Hierarchy.domain_coherence} counters: invalidations, forwards,
+   cross-socket probes, probed cores. The last slot is the directory
+   occupancy high-water — zeroed per worker participation and merged
+   with [max], not summed. Powers the coherence columns and the [scale]
+   block in BENCH_asf.json. *)
+let coh_inval_acc = ref 0
+
+let coh_fwd_acc = ref 0
+
+let coh_cross_acc = ref 0
+
+let coh_probe_acc = ref 0
+
+let coh_dir_hw_acc = ref 0
+
 let reset_sim_cycles () =
   sim_cycle_acc := 0;
   fused_acc := 0;
-  sched_acc := 0
+  sched_acc := 0;
+  coh_inval_acc := 0;
+  coh_fwd_acc := 0;
+  coh_cross_acc := 0;
+  coh_probe_acc := 0;
+  coh_dir_hw_acc := 0
 
 let sim_cycles () = !sim_cycle_acc
 
 let fused_scheduled () = (!fused_acc, !sched_acc)
+
+let coherence () =
+  ( !coh_inval_acc,
+    !coh_fwd_acc,
+    !coh_cross_acc,
+    !coh_probe_acc,
+    !coh_dir_hw_acc )
 
 (* ------------------------------------------------------------------ *)
 (* Cells                                                                *)
@@ -213,6 +242,11 @@ let cell_map f xs =
   let a_cycles = Array.make slots 0 in
   let a_fused = Array.make slots 0 in
   let a_sched = Array.make slots 0 in
+  let a_coh_inval = Array.make slots 0 in
+  let a_coh_fwd = Array.make slots 0 in
+  let a_coh_cross = Array.make slots 0 in
+  let a_coh_probe = Array.make slots 0 in
+  let a_coh_dir_hw = Array.make slots 0 in
   let around wid body =
     (* Executing-domain scope: save whatever this domain had installed
        (the main domain's own instances when wid = 0), substitute the
@@ -225,12 +259,24 @@ let cell_map f xs =
     (match fl with Some fl -> Faults.install fl | None -> ());
     let c0 = Engine.cycles_retired () in
     let f0, s0 = Engine.sched_counters () in
+    let coh0 = Hierarchy.domain_coherence () in
+    (* Zero the domain's directory high-water so this participation's
+       mark is its own; the saved value is restored (as a max) in the
+       finally, so outer accounting on the main domain is preserved. *)
+    Hierarchy.set_domain_dir_high_water 0;
     Fun.protect
       ~finally:(fun () ->
         a_cycles.(wid) <- Engine.cycles_retired () - c0;
         let f1, s1 = Engine.sched_counters () in
         a_fused.(wid) <- f1 - f0;
         a_sched.(wid) <- s1 - s0;
+        let coh1 = Hierarchy.domain_coherence () in
+        a_coh_inval.(wid) <- coh1.(0) - coh0.(0);
+        a_coh_fwd.(wid) <- coh1.(1) - coh0.(1);
+        a_coh_cross.(wid) <- coh1.(2) - coh0.(2);
+        a_coh_probe.(wid) <- coh1.(3) - coh0.(3);
+        a_coh_dir_hw.(wid) <- coh1.(4);
+        Hierarchy.set_domain_dir_high_water (max coh0.(4) coh1.(4));
         (match saved_chk with
         | Some c -> Check.install c
         | None -> Check.uninstall ());
@@ -268,6 +314,11 @@ let cell_map f xs =
   sim_cycle_acc := !sim_cycle_acc + total a_cycles;
   fused_acc := !fused_acc + total a_fused;
   sched_acc := !sched_acc + total a_sched;
+  coh_inval_acc := !coh_inval_acc + total a_coh_inval;
+  coh_fwd_acc := !coh_fwd_acc + total a_coh_fwd;
+  coh_cross_acc := !coh_cross_acc + total a_coh_cross;
+  coh_probe_acc := !coh_probe_acc + total a_coh_probe;
+  coh_dir_hw_acc := max !coh_dir_hw_acc (Array.fold_left max 0 a_coh_dir_hw);
   List.map
     (fun o ->
       (match main_chk with

@@ -74,9 +74,35 @@ fi
 dune build @bench-smoke
 
 # Scheduler-throughput smoke: quick bench over the single-thread-heavy
-# experiments; prints seq cycles/sec + fusion ratio and asserts the
-# seq vs --jobs 2 determinism contract.
+# experiments; prints seq cycles/sec + fusion ratio, asserts the
+# seq vs --jobs 2 determinism contract and the minor-words allocation
+# budget (see scripts/allocprof.sh for the per-experiment breakdown).
 dune build @perf-smoke
+
+# Big-topology smoke: 64-core / 4-socket fig4 slice + serve underload on
+# the limited-pointer directory backend, each doubled and compared
+# byte-for-byte.
+dune build @scale-smoke
+
+# Sharer-backend equivalence gate: identical paper-scale runs under the
+# full-bitmask and the limited-pointer/coarse-vector directory backends
+# must be byte-identical — at <= 62 cores the representations are
+# observably equivalent (coarse-mode spurious probes only ever hit cores
+# that hold nothing, which is a no-op).
+echo "sharer-backend equivalence gate"
+SH_A=$(mktemp)
+SH_B=$(mktemp)
+ASF_SHARERS=bitmask "$BENCH" stamp -a intruder -m llb256 -t 8 --sockets 2 \
+  --scale 0.2 > "$SH_A"
+ASF_SHARERS=limited "$BENCH" stamp -a intruder -m llb256 -t 8 --sockets 2 \
+  --scale 0.2 > "$SH_B"
+cmp "$SH_A" "$SH_B"
+ASF_SHARERS=bitmask "$BENCH" intset -s rb-tree -r 1024 -u 20 -t 8 \
+  --txns 300 -m llb8 > "$SH_A"
+ASF_SHARERS=limited "$BENCH" intset -s rb-tree -r 1024 -u 20 -t 8 \
+  --txns 300 -m llb8 > "$SH_B"
+cmp "$SH_A" "$SH_B"
+rm -f "$SH_A" "$SH_B"
 
 # Watchdog negative fixture: under the livelock plan (permanent spurious
 # aborts + a hanging serial-lock holder) the run MUST be ended by the

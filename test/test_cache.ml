@@ -7,6 +7,7 @@ module Addr = Asf_mem.Addr
 module Cache = Asf_cache.Cache
 module Tlb = Asf_cache.Tlb
 module Hierarchy = Asf_cache.Hierarchy
+module Sharers = Asf_cache.Sharers
 module Memsys = Asf_cache.Memsys
 
 (* ------------------------------------------------------------------ *)
@@ -329,7 +330,10 @@ let test_hierarchy_evict_hook () =
    invalidation and cross-socket accounting and the evict-hook trail
    must be indistinguishable from [Hierarchy.access]. *)
 module Ref_hier = struct
-  type entry = { mutable owners : int; mutable dirty : int }
+  (* Sharers as a plain core list (no packing), so the reference model
+     is valid at any core count — including the 64-core topologies the
+     production bitmask cannot represent. *)
+  type entry = { mutable owners : int list; mutable dirty : int }
 
   type t = {
     p : Params.t;
@@ -365,7 +369,7 @@ module Ref_hier = struct
     match Hashtbl.find_opt t.dir line with
     | Some e -> e
     | None ->
-        let e = { owners = 0; dirty = -1 } in
+        let e = { owners = []; dirty = -1 } in
         Hashtbl.add t.dir line e;
         e
 
@@ -388,26 +392,24 @@ module Ref_hier = struct
       else p.mem_latency
     in
     let extra = ref 0 in
-    let my_bit = 1 lsl core in
     if write then begin
-      let others = e.owners land lnot my_bit in
-      if others <> 0 || remote_dirty then begin
+      let others = List.filter (fun c -> c <> core) e.owners in
+      if others <> [] || remote_dirty then begin
         extra := !extra + p.coherence_probe_latency;
         t.invalidations <- t.invalidations + 1;
         let crossed = ref false in
-        for c = 0 to t.n_cores - 1 do
-          if c <> core && others land (1 lsl c) <> 0 then begin
+        List.iter
+          (fun c ->
             if socket_of t c <> socket then crossed := true;
             if Cache.invalidate t.l1.(c) line then t.evict_hooks.(c) line;
-            ignore (Cache.invalidate t.l2.(c) line)
-          end
-        done;
+            ignore (Cache.invalidate t.l2.(c) line))
+          (List.sort_uniq compare others);
         if !crossed then begin
           t.cross_socket_probes <- t.cross_socket_probes + 1;
           extra := !extra + p.cross_socket_latency
         end
       end;
-      e.owners <- my_bit;
+      e.owners <- [ core ];
       e.dirty <- core
     end
     else begin
@@ -419,7 +421,7 @@ module Ref_hier = struct
         end;
         e.dirty <- -1
       end;
-      e.owners <- e.owners lor my_bit
+      if not (List.mem core e.owners) then e.owners <- core :: e.owners
     end;
     (let victim = Cache.touch_evict t.l1.(core) line in
      if victim <> -1 then t.evict_hooks.(core) victim);
@@ -457,6 +459,224 @@ let prop_hierarchy_vs_hashtbl_directory =
       && Hierarchy.forwards h = r.Ref_hier.forwards
       && Hierarchy.invalidations h = r.Ref_hier.invalidations
       && Hierarchy.cross_socket_probes h = r.Ref_hier.cross_socket_probes)
+
+(* ------------------------------------------------------------------ *)
+(* Sharer-set representations                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Topologies the battery sweeps: paper scale (bitmask + limited agree
+   exactly) and big topologies only the limited backend can hold. *)
+let sharers_topologies = [ (8, 1); (8, 2); (64, 4); (256, 8) ]
+
+let prop_sharers_vs_reference =
+  QCheck.Test.make
+    ~name:"limited-pointer/coarse-vector sharer sets match reference set"
+    ~count:150
+    QCheck.(pair (int_range 0 3) (list (int_range 0 10_000)))
+    (fun (ti, adds) ->
+      let n_cores, n_sockets = List.nth sharers_topologies ti in
+      let adds = List.map (fun a -> a mod n_cores) adds in
+      let sock c = c * n_sockets / n_cores in
+      let lim = Sharers.make_ctx ~kind:Sharers.Limited ~n_cores ~n_sockets in
+      let bm =
+        if n_cores <= Sharers.max_bitmask_cores then
+          Some (Sharers.make_ctx ~kind:Sharers.Bitmask ~n_cores ~n_sockets)
+        else None
+      in
+      let all_cores = List.init n_cores Fun.id in
+      let check_state s_lim s_bm ref_set last_added =
+        let truth = List.sort_uniq compare ref_set in
+        let probe = Sharers.to_list lim s_lim in
+        let repr_ok =
+          if Sharers.exact lim s_lim then probe = truth
+          else begin
+            (* Coarse probe set: every core of every socket holding a
+               true sharer — a superset of the truth, nothing else. *)
+            let socks = List.sort_uniq compare (List.map sock truth) in
+            probe = List.filter (fun c -> List.mem (sock c) socks) all_cores
+          end
+        in
+        (* Coarse mode only engages past the pointer capacity. *)
+        let overflow_ok =
+          Sharers.exact lim s_lim || List.length truth > 4
+        in
+        let bm_ok =
+          match s_bm with
+          | None -> true
+          | Some s -> Sharers.to_list (Option.get bm) s = truth
+        in
+        (* others / crossed must answer exactly per the true sharer set,
+           coarse or not, for a sample of querying cores. *)
+        let sample =
+          List.sort_uniq compare [ 0; last_added; n_cores - 1 ]
+        in
+        let queries_ok =
+          List.for_all
+            (fun core ->
+              let t_others = List.exists (fun c -> c <> core) truth in
+              let t_crossed =
+                List.exists (fun c -> c <> core && sock c <> sock core) truth
+              in
+              Sharers.others lim s_lim ~except:core = t_others
+              && Sharers.crossed lim s_lim ~socket:(sock core) ~except:core
+                 = t_crossed
+              &&
+              match s_bm with
+              | None -> true
+              | Some s ->
+                  let ctx = Option.get bm in
+                  Sharers.others ctx s ~except:core = t_others
+                  && Sharers.crossed ctx s ~socket:(sock core) ~except:core
+                     = t_crossed)
+            sample
+        in
+        repr_ok && overflow_ok && bm_ok && queries_ok
+      in
+      let rec go s_lim s_bm ref_set = function
+        | [] -> true
+        | c :: rest ->
+            let s_lim = Sharers.add lim s_lim c in
+            let s_bm = Option.map (fun s -> Sharers.add (Option.get bm) s c) s_bm in
+            let ref_set = c :: ref_set in
+            check_state s_lim s_bm ref_set c && go s_lim s_bm ref_set rest
+      in
+      let s_bm0 = Option.map (fun _ -> Sharers.empty) bm in
+      Sharers.is_empty Sharers.empty
+      && (adds = []
+          || Sharers.singleton lim (List.hd adds)
+             = Sharers.add lim Sharers.empty (List.hd adds))
+      && go Sharers.empty s_bm0 [] adds)
+
+(* The same reference-model comparison as above, at a topology the old
+   one-int-bitmask directory could not represent ([1 lsl 63] overflows):
+   64 cores over 4 sockets on the auto-selected limited backend. The
+   coarse vector's spurious probes only hit cores that hold nothing, so
+   latencies, evictions and every counter still match the exact-set
+   reference. *)
+let prop_hierarchy64_vs_reference =
+  QCheck.Test.make
+    ~name:"64-core hierarchy (limited directory) matches reference" ~count:60
+    QCheck.(list (triple (int_range 0 63) (int_range 0 63) bool))
+    (fun ops ->
+      let p = Params.with_sockets Params.barcelona ~sockets:4 in
+      let n_cores = 64 in
+      let h = Hierarchy.create p ~n_cores in
+      let r = Ref_hier.create p ~n_cores in
+      let h_evicts = ref [] and r_evicts = ref [] in
+      for core = 0 to n_cores - 1 do
+        Hierarchy.set_evict_hook h ~core (fun l ->
+            h_evicts := (core, l) :: !h_evicts);
+        r.Ref_hier.evict_hooks.(core) <-
+          (fun l -> r_evicts := (core, l) :: !r_evicts)
+      done;
+      let agree =
+        List.for_all
+          (fun (core, sel, write) ->
+            (* Stripe part of the range past the first directory shard
+               (8192 lines) so shard allocation is exercised too. *)
+            let line = if sel >= 56 then 70_000 + ((sel - 56) * 1031) else sel in
+            Hierarchy.access h ~core ~line ~write
+            = Ref_hier.access r ~core ~line ~write)
+          ops
+      in
+      Hierarchy.backend h = Sharers.Limited
+      && agree
+      && !h_evicts = !r_evicts
+      && Hierarchy.forwards h = r.Ref_hier.forwards
+      && Hierarchy.invalidations h = r.Ref_hier.invalidations
+      && Hierarchy.cross_socket_probes h = r.Ref_hier.cross_socket_probes)
+
+(* Whole-hierarchy backend equivalence on fig4-shaped traffic: mostly
+   per-core private working sets, plus widely-shared read-hot lines
+   (these overflow the 4 pointers and go coarse) and a few contended
+   RMW lines — the access mix STAMP produces. Latency streams, eviction
+   traces, stats and directory occupancy must be identical under both
+   backends; only the probe census may differ (coarse sends spurious
+   probes at cores that hold nothing). *)
+let prop_backends_equivalent_on_fig4_traffic =
+  QCheck.Test.make
+    ~name:"bitmask vs limited backends equivalent on fig4-shaped traffic"
+    ~count:40 QCheck.small_nat
+    (fun seed ->
+      let p = Params.dual_socket in
+      let n_cores = 8 in
+      let hb = Hierarchy.create ~sharers:Sharers.Bitmask p ~n_cores in
+      let hl = Hierarchy.create ~sharers:Sharers.Limited p ~n_cores in
+      let eb = ref [] and el = ref [] in
+      for core = 0 to n_cores - 1 do
+        Hierarchy.set_evict_hook hb ~core (fun l -> eb := (core, l) :: !eb);
+        Hierarchy.set_evict_hook hl ~core (fun l -> el := (core, l) :: !el)
+      done;
+      let st = ref (seed + 1) in
+      let rand m =
+        st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+        !st mod m
+      in
+      let ok = ref true in
+      for _ = 1 to 1500 do
+        let core = rand n_cores in
+        let r = rand 10 in
+        let line, write =
+          if r < 6 then ((1000 * core) + rand 48, rand 4 = 0)
+          else if r < 8 then (500 + rand 8, false)
+          else (600 + rand 4, true)
+        in
+        if
+          Hierarchy.access hb ~core ~line ~write
+          <> Hierarchy.access hl ~core ~line ~write
+        then ok := false
+      done;
+      !ok
+      && !eb = !el
+      && Hierarchy.forwards hb = Hierarchy.forwards hl
+      && Hierarchy.invalidations hb = Hierarchy.invalidations hl
+      && Hierarchy.cross_socket_probes hb = Hierarchy.cross_socket_probes hl
+      && Hierarchy.dir_high_water hb = Hierarchy.dir_high_water hl
+      && Hierarchy.probes hl >= Hierarchy.probes hb)
+
+(* Regression for the latent >= 63-core overflow: creation and traffic
+   at 64 cores now work (auto-switched representation), and forcing the
+   bitmask there is an explicit error instead of silent bit wraparound. *)
+let test_hierarchy_64core () =
+  let p = Params.with_sockets Params.barcelona ~sockets:4 in
+  let h = Hierarchy.create p ~n_cores:64 in
+  Alcotest.(check bool)
+    "limited backend auto-selected" true
+    (Hierarchy.backend h = Sharers.Limited);
+  let line = 42 in
+  for core = 0 to 63 do
+    ignore (Hierarchy.access h ~core ~line ~write:false)
+  done;
+  let dropped = ref [] in
+  Hierarchy.set_evict_hook h ~core:63 (fun l -> dropped := l :: !dropped);
+  Alcotest.(check bool) "core 63 holds the line" true
+    (Hierarchy.line_in_l1 h ~core:63 ~line);
+  ignore (Hierarchy.access h ~core:0 ~line ~write:true);
+  Alcotest.(check bool) "core 63 invalidated" false
+    (Hierarchy.line_in_l1 h ~core:63 ~line);
+  Alcotest.(check (list int)) "evict hook fired for core 63" [ line ] !dropped;
+  Alcotest.(check int) "one invalidation event" 1 (Hierarchy.invalidations h);
+  Alcotest.(check bool) "cross-socket probe charged" true
+    (Hierarchy.cross_socket_probes h > 0);
+  (* Distant lines exercise outer-array growth + lazy shard allocation. *)
+  ignore (Hierarchy.access h ~core:7 ~line:10_000_000 ~write:true);
+  Alcotest.(check bool) "distant line landed in L1" true
+    (Hierarchy.line_in_l1 h ~core:7 ~line:10_000_000)
+
+let test_bitmask_backend_caps_at_62 () =
+  (match Hierarchy.create ~sharers:Sharers.Bitmask Params.barcelona ~n_cores:64 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bitmask backend accepted 64 cores");
+  (match Sharers.make_ctx ~kind:Sharers.Bitmask ~n_cores:63 ~n_sockets:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bitmask ctx accepted 63 cores");
+  ignore (Hierarchy.create ~sharers:Sharers.Bitmask Params.barcelona ~n_cores:62);
+  (match Sharers.make_ctx ~kind:Sharers.Limited ~n_cores:513 ~n_sockets:8 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "limited ctx accepted 513 cores");
+  (match Sharers.make_ctx ~kind:Sharers.Limited ~n_cores:256 ~n_sockets:17 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "limited ctx accepted 17 sockets")
 
 (* ------------------------------------------------------------------ *)
 (* Memsys                                                              *)
@@ -599,6 +819,15 @@ let () =
           Alcotest.test_case "per-socket L3" `Quick test_hierarchy_per_socket_l3;
           Alcotest.test_case "evict hook" `Quick test_hierarchy_evict_hook;
           q prop_hierarchy_vs_hashtbl_directory;
+          q prop_hierarchy64_vs_reference;
+          q prop_backends_equivalent_on_fig4_traffic;
+          Alcotest.test_case "64-core topology" `Quick test_hierarchy_64core;
+          Alcotest.test_case "backend capacity limits" `Quick
+            test_bitmask_backend_caps_at_62;
+        ] );
+      ( "sharers",
+        [
+          q prop_sharers_vs_reference;
         ] );
       ( "memsys",
         [
